@@ -1,0 +1,44 @@
+// Ablation (§IV.H) — window-based batching sweep: completion time and
+// RDMA message count as the swap-out window d grows from 1 (per-page,
+// Infiniswap-style) to 16 pages per message.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Ablation: batching window d (§IV.H)",
+      "bigger windows amortize per-message overhead; diminishing returns");
+
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  app.iterations = 3;
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+
+  std::printf("%6s %16s %14s %14s\n", "d", "completion", "rdma-msgs",
+              "msg-bytes(MB)");
+  for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+    auto setup = swap::make_system(swap::SystemKind::kFastSwap, kResident);
+    setup.ldmc.shm_fraction = 0.0;  // all traffic over the fabric
+    setup.swap.batch_pages = d;
+    auto rig = bench::make_swap_rig(setup, app);
+    Rng rng(31);
+    auto result = workloads::run_iterative(*rig.manager, app, kPages, rng);
+    if (!result.status.ok()) {
+      std::printf("run failed at d=%zu: %s\n", d,
+                  result.status.to_string().c_str());
+      return 1;
+    }
+    const auto msgs =
+        rig.system->fabric().metrics().counter_value("fabric.messages");
+    const double mb =
+        static_cast<double>(rig.system->fabric().metrics().counter_value(
+            "fabric.bytes_transferred")) /
+        (1024.0 * 1024.0);
+    std::printf("%6zu %16s %14llu %14.1f\n", d,
+                format_duration(result.elapsed).c_str(),
+                static_cast<unsigned long long>(msgs), mb);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation (§VI) — the full memory hierarchy, tier by tier.
+//
+// §VI frames disaggregation as extending DRAM "to the faster tier(s) in
+// the memory hierarchy before resorting to the slower external storage
+// tier". This bench runs one workload against progressively deeper
+// hierarchies — disk only; +NVM; +remote memory; +node shared pool — and
+// reports completion time plus where the overflow landed. Every tier added
+// above the disk absorbs traffic at a faster price point.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Ablation: hierarchy depth (shm / remote / NVM / disk, §VI)",
+      "each added tier absorbs overflow at a faster price point");
+
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  app.iterations = 3;
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+
+  struct Depth {
+    const char* name;
+    bool shm;
+    bool remote;
+    bool nvm;
+  };
+  const Depth depths[] = {
+      {"disk only", false, false, false},
+      {"+remote", false, true, false},
+      {"+remote+NVM", false, true, true},
+      {"+shared pool", true, true, true},
+  };
+
+  std::printf("%-14s %16s %8s %8s %8s %8s\n", "Hierarchy", "completion",
+              "shm", "remote", "nvm", "disk");
+  for (const Depth& depth : depths) {
+    auto setup = swap::make_system(swap::SystemKind::kFastSwap, kResident);
+    setup.ldmc.shm_fraction = depth.shm ? 1.0 : 0.0;
+    setup.ldmc.allow_remote = depth.remote;
+
+    core::DmSystem::Config config;
+    config.node_count = 4;
+    config.node.shm.arena_bytes = 32 * MiB;
+    config.node.recv.arena_bytes = 128 * KiB;  // remote tier fills up
+    config.node.recv.slab_bytes = 64 * KiB;
+    config.node.disk.capacity_bytes = 256 * MiB;
+    if (depth.nvm) config.node.nvm.capacity_bytes = 4 * MiB;
+    config.service = setup.service;
+    core::DmSystem system(config);
+    system.start();
+    // 6 MiB allocation -> ~614 KiB shared-pool donation when enabled.
+    auto& client = system.create_server(0, 6 * MiB, setup.ldmc);
+    swap::SwapManager memory(client, setup.swap,
+                             workloads::content_for(app, 3));
+    Rng rng(29);
+    auto result = workloads::run_iterative(memory, app, kPages, rng);
+    if (!result.status.ok()) {
+      std::printf("run failed (%s): %s\n", depth.name,
+                  result.status.to_string().c_str());
+      return 1;
+    }
+    std::printf("%-14s %16s %8llu %8llu %8llu %8llu\n", depth.name,
+                format_duration(result.elapsed).c_str(),
+                static_cast<unsigned long long>(client.puts_to_shm()),
+                static_cast<unsigned long long>(client.puts_to_remote()),
+                static_cast<unsigned long long>(client.puts_to_nvm()),
+                static_cast<unsigned long long>(client.puts_to_disk()));
+  }
+  std::printf("\n(note: with DIMM-class NVM parameters the local NVM tier "
+              "can outrun remote DRAM — §VI's open question of which "
+              "memory/network/storage combination wins is parameter-"
+              "dependent; sweep config.node.nvm.model to explore it)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation (§III) — when does full memory disaggregation become feasible?
+//
+// The paper argues full disaggregation "will be feasible when remote memory
+// access speed is comparable to local memory speed". This bench sweeps the
+// fabric from hard-drive-era Ethernet to a hypothetical DRAM-speed
+// interconnect and measures an all-remote configuration (FS-RDMA) against
+// the node-local pool (FS-SM): the ratio between them is the price of
+// going fully remote at each network generation.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Ablation: network speed vs full-disaggregation viability (§III)",
+      "FS-RDMA approaches FS-SM as the fabric approaches DRAM speed");
+
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  app.iterations = 3;
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+
+  struct Generation {
+    const char* name;
+    SimTime overhead_ns;
+    double gib_per_s;
+  };
+  const Generation generations[] = {
+      {"10GbE+iWARP", 10000, 1.0},
+      {"IB-QDR", 3000, 3.5},
+      {"IB-FDR (paper)", 1500, 6.0},
+      {"IB-HDR", 800, 22.0},
+      {"CXL-class", 300, 40.0},
+      {"DRAM-speed", 100, 18.0},
+  };
+
+  std::printf("%-16s %16s %16s %12s\n", "Fabric", "FS-RDMA", "FS-SM",
+              "penalty");
+  for (const auto& generation : generations) {
+    SimTime elapsed[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      auto setup = swap::make_fastswap_ratio(mode == 0 ? 0.0 : 1.0,
+                                             kResident);
+      bench::SwapRigOptions options;
+      auto rig_config = [&] {
+        core::DmSystem::Config config;
+        config.node_count = 4;
+        config.node.shm.arena_bytes = 32 * MiB;
+        config.node.recv.arena_bytes = 32 * MiB;
+        config.node.disk.capacity_bytes = 128 * MiB;
+        config.service = setup.service;
+        config.fabric.latency.rdma = {generation.overhead_ns,
+                                      generation.gib_per_s};
+        config.fabric.latency.rdma_send = {generation.overhead_ns + 500,
+                                           generation.gib_per_s};
+        return config;
+      }();
+      core::DmSystem system(rig_config);
+      system.start();
+      auto& client = system.create_server(0, 256 * MiB, setup.ldmc);
+      swap::SwapManager memory(client, setup.swap,
+                               workloads::content_for(app, 42));
+      Rng rng(19);
+      auto result = workloads::run_iterative(memory, app, kPages, rng);
+      if (!result.status.ok()) {
+        std::printf("run failed: %s\n", result.status.to_string().c_str());
+        return 1;
+      }
+      elapsed[mode] = result.elapsed;
+    }
+    std::printf("%-16s %16s %16s %11.2fx\n", generation.name,
+                format_duration(elapsed[0]).c_str(),
+                format_duration(elapsed[1]).c_str(),
+                bench::ratio(elapsed[0], elapsed[1]));
+  }
+  std::printf("\n(penalty = FS-RDMA completion / FS-SM completion; 1.0x "
+              "means remote memory is as good as the node-local pool — the "
+              "paper's feasibility bar for full disaggregation)\n");
+  return 0;
+}

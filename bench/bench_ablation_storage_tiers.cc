@@ -1,0 +1,86 @@
+// Ablation (§VI) — the memory/storage hierarchy and where remote memory
+// fits as devices improve.
+//
+// §VI: "Memory disaggregation is one step towards leveraging the latency
+// gap between network I/O and storage I/O." This bench sweeps the local
+// swap device through storage generations (7.2K HDD, SATA SSD, NVMe SSD,
+// Optane-class, NVM-DIMM-class) and compares device-backed swap against
+// FastSwap's remote-memory path on the paper's FDR fabric: the gap closes
+// as storage approaches memory, which is exactly the §VI trade space.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Ablation: storage generations vs remote memory (§VI)",
+      "the disk-network latency gap narrows with each storage generation");
+
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  app.iterations = 3;
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+
+  struct Device {
+    const char* name;
+    SimTime seek_ns;
+    double mib_per_s;
+  };
+  const Device devices[] = {
+      {"HDD-7.2K (paper)", 6 * kMilli, 150.0},
+      {"SATA-SSD", 80 * kMicro, 500.0},
+      {"NVMe-SSD", 20 * kMicro, 3000.0},
+      {"Optane-class", 8 * kMicro, 2500.0},
+      {"NVM-DIMM-class", 1 * kMicro, 8000.0},
+  };
+
+  // Remote-memory reference: FastSwap all-remote on the paper's fabric.
+  SimTime remote_elapsed = 0;
+  {
+    auto setup = swap::make_fastswap_ratio(0.0, kResident);
+    auto rig = bench::make_swap_rig(setup, app);
+    Rng rng(23);
+    auto result = workloads::run_iterative(*rig.manager, app, kPages, rng);
+    if (!result.status.ok()) return 1;
+    remote_elapsed = result.elapsed;
+  }
+
+  std::printf("remote memory (FS-RDMA, FDR fabric): %s\n\n",
+              format_duration(remote_elapsed).c_str());
+  std::printf("%-18s %16s %18s\n", "Swap device", "device swap",
+              "vs remote memory");
+  for (const Device& device : devices) {
+    auto setup = swap::make_system(swap::SystemKind::kLinux, kResident);
+    bench::SwapRigOptions options;
+    auto config = [&] {
+      core::DmSystem::Config c;
+      c.node_count = 4;
+      c.node.shm.arena_bytes = 32 * MiB;
+      c.node.recv.arena_bytes = 32 * MiB;
+      c.node.disk.capacity_bytes = 256 * MiB;
+      c.node.disk.model.seek_ns = device.seek_ns;
+      c.node.disk.model.mib_per_s = device.mib_per_s;
+      c.service = setup.service;
+      return c;
+    }();
+    core::DmSystem system(config);
+    system.start();
+    auto& client = system.create_server(0, 256 * MiB, setup.ldmc);
+    swap::SwapManager memory(client, setup.swap,
+                             workloads::content_for(app, 23));
+    Rng rng(23);
+    auto result = workloads::run_iterative(memory, app, kPages, rng);
+    if (!result.status.ok()) {
+      std::printf("run failed: %s\n", result.status.to_string().c_str());
+      return 1;
+    }
+    const double gap = bench::ratio(result.elapsed, remote_elapsed);
+    std::printf("%-18s %16s %17.1fx\n", device.name,
+                format_duration(result.elapsed).c_str(), gap);
+  }
+  std::printf("\n(>1x: remote memory is the faster overflow tier; as the "
+              "ratio approaches 1x the killer-app question of §VI — which "
+              "combination of memory, network and storage wins — reopens)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation — where Zswap sits between Linux swap and FastSwap.
+//
+// The paper uses Zswap as the compression baseline (Fig 3). This bench
+// runs it as a full system: Linux disk swap < Zswap (compressed RAM cache
+// absorbs part of the spill) < FastSwap (node-level + remote disaggregated
+// memory), across content compressibility levels — Zswap's edge over Linux
+// shrinks as pages get harder to compress, FastSwap's does not.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Ablation: Zswap as a system (Linux < Zswap < FastSwap)",
+      "compressed RAM cache helps; disaggregated memory helps more");
+
+  workloads::AppSpec base = *workloads::find_app("LogisticRegression");
+  base.iterations = 3;
+  constexpr std::uint64_t kPages = 256;
+  constexpr std::uint64_t kResident = kPages / 2;
+
+  std::printf("%12s %16s %16s %16s %12s %12s\n", "content", "Linux", "Zswap",
+              "FastSwap", "Zswap-gain", "FS-gain");
+  for (double r : {0.05, 0.3, 0.8}) {
+    workloads::AppSpec app = base;
+    app.random_fraction = r;
+    SimTime elapsed[3] = {0, 0, 0};
+    const swap::SystemKind kinds[] = {swap::SystemKind::kLinux,
+                                      swap::SystemKind::kZswap,
+                                      swap::SystemKind::kFastSwap};
+    for (int s = 0; s < 3; ++s) {
+      auto setup = swap::make_system(kinds[s], kResident);
+      bench::SwapRigOptions options;
+      options.server_bytes = 6 * MiB;
+      auto rig = bench::make_swap_rig(setup, app, options);
+      Rng rng(3);
+      auto result = workloads::run_iterative(*rig.manager, app, kPages, rng);
+      if (!result.status.ok()) {
+        std::printf("run failed (%s): %s\n", setup.name.c_str(),
+                    result.status.to_string().c_str());
+        return 1;
+      }
+      elapsed[s] = result.elapsed;
+    }
+    std::printf("%11.2f %16s %16s %16s %11.2fx %11.1fx\n", r,
+                format_duration(elapsed[0]).c_str(),
+                format_duration(elapsed[1]).c_str(),
+                format_duration(elapsed[2]).c_str(),
+                bench::ratio(elapsed[0], elapsed[1]),
+                bench::ratio(elapsed[0], elapsed[2]));
+  }
+  std::printf("\n(content = incompressible fraction of page bytes)\n");
+  return 0;
+}

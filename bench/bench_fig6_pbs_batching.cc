@@ -1,0 +1,54 @@
+// Figure 6 — completion time of FastSwap with proactive batch swap-in (PBS)
+// vs FastSwap without PBS vs Infiniswap vs Linux disk swap, across four
+// disaggregated-memory workload sizes.
+//
+// Paper shape: FastSwap+PBS < FastSwap w/o PBS < Infiniswap << Linux at
+// every size, with the gap growing as more of the working set spills.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Figure 6: batch swap-in (PBS) effect across DM workload sizes",
+      "FastSwap+PBS < FastSwap w/o PBS < Infiniswap << Linux");
+
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  app.iterations = 3;
+  constexpr std::uint64_t kResident = 128;
+
+  const std::uint64_t working_sets[] = {192, 256, 384, 512};
+  const swap::SystemKind systems[] = {
+      swap::SystemKind::kFastSwap, swap::SystemKind::kFastSwapNoPbs,
+      swap::SystemKind::kInfiniswap, swap::SystemKind::kLinux};
+
+  std::printf("%-12s %16s %16s %16s %16s %9s\n", "WSet(pages)",
+              "FastSwap+PBS", "FS-noPBS", "Infiniswap", "Linux", "PBS-gain");
+  for (std::uint64_t pages : working_sets) {
+    SimTime elapsed[4] = {0, 0, 0, 0};
+    for (int s = 0; s < 4; ++s) {
+      auto setup = swap::make_system(systems[s], kResident);
+      bench::SwapRigOptions options;
+      options.server_bytes = 2 * MiB;  // most spill goes to remote memory
+      auto rig = bench::make_swap_rig(setup, app, options);
+      Rng rng(13);
+      auto result = workloads::run_iterative(*rig.manager, app, pages, rng);
+      if (!result.status.ok()) {
+        std::printf("run failed (%s): %s\n", setup.name.c_str(),
+                    result.status.to_string().c_str());
+        return 1;
+      }
+      elapsed[s] = result.elapsed;
+    }
+    std::printf("%-12llu %16s %16s %16s %16s %8.2fx\n",
+                static_cast<unsigned long long>(pages),
+                format_duration(elapsed[0]).c_str(),
+                format_duration(elapsed[1]).c_str(),
+                format_duration(elapsed[2]).c_str(),
+                format_duration(elapsed[3]).c_str(),
+                bench::ratio(elapsed[1], elapsed[0]));
+  }
+  std::printf("\n(PBS-gain = FastSwap w/o PBS over FastSwap+PBS)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8 — throughput of Redis, Memcached and VoltDB at the 50%
+// configuration while varying the node-level : cluster-level distribution
+// of disaggregated memory: FS-SM, FS-9:1, FS-7:3, FS-5:5, FS-RDMA, plus the
+// Linux, Infiniswap, and NBDX baselines.
+//
+// Paper shape: FS-SM is the best by far (up to 571x/171x/240x over Linux,
+// ~11x/5x/2x over Infiniswap); throughput falls monotonically as more
+// traffic goes to remote memory; FS-RDMA still beats Infiniswap and NBDX.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Figure 8: throughput vs DM distribution ratio (50% config)",
+      "FS-SM >> FS-9:1 > FS-7:3 > FS-5:5 > FS-RDMA > NBDX/Infiniswap >> Linux");
+
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+  constexpr std::uint64_t kOps = 30000;
+
+  std::vector<std::pair<std::string, swap::SystemSetup>> configs;
+  for (double f : {1.0, 0.9, 0.7, 0.5, 0.0}) {
+    auto setup = swap::make_fastswap_ratio(f, kResident);
+    configs.emplace_back(setup.name, setup);
+  }
+  for (auto kind : {swap::SystemKind::kNbdx, swap::SystemKind::kInfiniswap,
+                    swap::SystemKind::kLinux}) {
+    auto setup = swap::make_system(kind, kResident);
+    configs.emplace_back(setup.name, setup);
+  }
+
+  std::printf("%-12s %14s %14s %14s %12s\n", "System", "Redis(kops/s)",
+              "Memcached", "VoltDB", "p99(mcd)");
+  std::vector<double> linux_tp(3, 0.0);
+  std::vector<std::vector<double>> all_tp;
+  for (const auto& [name, setup] : configs) {
+    std::vector<double> row;
+    std::string p99_memcached;
+    for (const char* app_name : {"Redis", "Memcached", "VoltDB"}) {
+      const workloads::AppSpec* app = workloads::find_app(app_name);
+      auto rig = bench::make_swap_rig(setup, *app);
+      // Warm the working set so the steady state is measured.
+      Rng rng(19);
+      for (std::uint64_t p = 0; p < kPages; ++p)
+        (void)rig.manager->touch(p);
+      auto result = workloads::run_kv(*rig.manager, *app, kPages, kOps, rng);
+      if (!result.status.ok()) {
+        std::printf("run failed (%s/%s): %s\n", name.c_str(), app_name,
+                    result.status.to_string().c_str());
+        return 1;
+      }
+      row.push_back(result.ops_per_second() / 1000.0);
+      if (std::string_view(app_name) == "Memcached")
+        p99_memcached = format_duration(
+            static_cast<SimTime>(result.op_latency.p99()));
+    }
+    all_tp.push_back(row);
+    if (name == "Linux") linux_tp = row;
+    std::printf("%-12s %14.1f %14.1f %14.1f %12s\n", name.c_str(), row[0],
+                row[1], row[2], p99_memcached.c_str());
+  }
+
+  std::printf("\nFS-SM speedups over Linux: %.0fx / %.0fx / %.0fx "
+              "(paper: 571x / 171x / 240x class)\n",
+              all_tp[0][0] / linux_tp[0], all_tp[0][1] / linux_tp[1],
+              all_tp[0][2] / linux_tp[2]);
+  return 0;
+}

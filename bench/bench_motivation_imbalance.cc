@@ -1,0 +1,121 @@
+// Motivation study (§I) — memory usage imbalance in a virtualized cluster.
+//
+// The paper motivates disaggregation with production observations: clusters
+// see "an average of 30% idle memory during 70% of the running time, and of
+// the 80% memory allocated, only 50% on average is used". This bench
+// recreates that situation synthetically: a 32-node cluster hosting 80
+// heterogeneous VMs whose allocations are sized for estimated peak demand
+// (plus safety margin) while their actual working sets fluctuate —
+// iterative phases, diurnal load, and noise — then reports the same
+// statistics, plus the harvestable-memory view a disaggregated memory
+// system would exploit.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace {
+
+constexpr std::size_t kNodes = 32;
+constexpr std::size_t kVms = 80;
+constexpr double kNodeMemoryGb = 64.0;
+constexpr int kSamplesPerDay = 24 * 60;  // per-minute sampling
+
+struct Vm {
+  std::size_t node;
+  double allocated_gb;
+  double base_fraction;   // typical working-set share of the allocation
+  double amplitude;       // diurnal swing
+  double phase;           // where in the day its peak falls
+};
+
+}  // namespace
+
+int main() {
+  using namespace dm;
+  bench::print_header(
+      "Motivation (§I): memory usage imbalance in a virtualized cluster",
+      "~30% idle during ~70% of time; of ~80% allocated, ~50% used");
+
+  Rng rng(2026);
+  std::vector<Vm> vms;
+  std::vector<double> node_allocated(kNodes, 0.0);
+  for (std::size_t i = 0; i < kVms; ++i) {
+    Vm vm;
+    // Peak-estimated allocations: 8..32 GB, padded the way operators do.
+    vm.allocated_gb = 8.0 + static_cast<double>(rng.next_below(25));
+    vm.base_fraction = 0.40 + 0.3 * rng.next_double();
+    vm.amplitude = 0.15 + 0.20 * rng.next_double();
+    // Most guests follow the shared business-day cycle (correlated load is
+    // what makes cluster-level idle time swing rather than average out);
+    // the rest peak at random hours.
+    vm.phase = rng.bernoulli(0.7) ? 0.3 + 0.05 * (rng.next_double() - 0.5)
+                                  : rng.next_double();
+    // First-fit by remaining capacity.
+    std::size_t best = 0;
+    for (std::size_t n = 1; n < kNodes; ++n)
+      if (node_allocated[n] < node_allocated[best]) best = n;
+    vm.node = best;
+    node_allocated[best] += vm.allocated_gb;
+    vms.push_back(vm);
+  }
+
+  const double total_capacity = kNodes * kNodeMemoryGb;
+  double total_allocated = 0;
+  for (double a : node_allocated) total_allocated += a;
+
+  double sum_used_fraction = 0;       // used / allocated, cluster-wide
+  double sum_idle_fraction = 0;       // idle allocated memory fraction
+  int samples_over_30pct_idle = 0;
+  double min_node_util = 1.0, max_node_util = 0.0;
+  double harvest_gb_sum = 0;
+
+  for (int s = 0; s < kSamplesPerDay; ++s) {
+    const double day_pos = static_cast<double>(s) / kSamplesPerDay;
+    double used_total = 0;
+    std::vector<double> node_used(kNodes, 0.0);
+    for (const Vm& vm : vms) {
+      const double diurnal =
+          vm.amplitude * std::sin(2 * 3.14159265 * (day_pos - vm.phase));
+      const double noise = 0.05 * (rng.next_double() - 0.5);
+      double fraction = vm.base_fraction + diurnal + noise;
+      fraction = std::clamp(fraction, 0.05, 1.0);
+      const double used = fraction * vm.allocated_gb;
+      used_total += used;
+      node_used[vm.node] += used;
+    }
+    const double used_fraction = used_total / total_allocated;
+    const double idle_fraction = 1.0 - used_fraction;
+    sum_used_fraction += used_fraction;
+    sum_idle_fraction += idle_fraction;
+    if (idle_fraction >= 0.30) ++samples_over_30pct_idle;
+    harvest_gb_sum += total_allocated - used_total;
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      if (node_allocated[n] <= 0) continue;
+      const double util = node_used[n] / node_allocated[n];
+      min_node_util = std::min(min_node_util, util);
+      max_node_util = std::max(max_node_util, util);
+    }
+  }
+
+  std::printf("cluster: %zu nodes x %.0f GB, %zu VMs, %.0f GB allocated "
+              "(%.0f%% of capacity)\n",
+              kNodes, kNodeMemoryGb, kVms, total_allocated,
+              100.0 * total_allocated / total_capacity);
+  std::printf("over one simulated day (per-minute samples):\n");
+  std::printf("  average used / allocated        : %.0f%%   (paper: ~50%%)\n",
+              100.0 * sum_used_fraction / kSamplesPerDay);
+  std::printf("  average idle allocated memory   : %.0f%%   (paper: ~30%%)\n",
+              100.0 * sum_idle_fraction / kSamplesPerDay);
+  std::printf("  time with >=30%% idle            : %.0f%%   (paper: ~70%%)\n",
+              100.0 * samples_over_30pct_idle / kSamplesPerDay);
+  std::printf("  per-node utilization spread     : %.0f%% .. %.0f%%\n",
+              100.0 * min_node_util, 100.0 * max_node_util);
+  std::printf("  harvestable by disaggregation   : %.0f GB on average\n",
+              harvest_gb_sum / kSamplesPerDay);
+  std::printf("\nThe spread is the paper's opportunity: servers paging while "
+              "neighbours idle. The disaggregated memory system turns the "
+              "harvestable pool into the shared-memory and remote tiers.\n");
+  return 0;
+}

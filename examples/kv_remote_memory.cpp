@@ -1,0 +1,56 @@
+// Example: a memcached-style server under memory pressure, with the
+// node-level : cluster-level distribution ratio as a knob (paper Fig 8).
+//
+//   $ ./kv_remote_memory [shm_percent]
+//   $ ./kv_remote_memory 70        # 70% of spill to node shm, 30% remote
+//
+// Shows throughput as a function of where the overflow lives.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dm_system.h"
+#include "swap/systems.h"
+#include "workloads/driver.h"
+
+int main(int argc, char** argv) {
+  using namespace dm;
+  const int shm_percent = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  constexpr std::uint64_t kPages = 512;
+  constexpr std::uint64_t kResident = kPages / 2;
+  constexpr std::uint64_t kOps = 20000;
+
+  const workloads::AppSpec* app = workloads::find_app("Memcached");
+
+  auto setup = swap::make_fastswap_ratio(shm_percent / 100.0, kResident);
+  core::DmSystem::Config config;
+  config.node_count = 4;
+  config.node.shm.arena_bytes = 32 * MiB;
+  config.node.recv.arena_bytes = 32 * MiB;
+  config.service = setup.service;
+  core::DmSystem system(config);
+  system.start();
+
+  auto& client = system.create_server(0, 256 * MiB, setup.ldmc);
+  swap::SwapManager memory(client, setup.swap,
+                           workloads::content_for(*app, 5));
+
+  // Warm the keyspace, then measure steady-state serving.
+  Rng rng(5);
+  for (std::uint64_t p = 0; p < kPages; ++p) (void)memory.touch(p);
+  auto result = workloads::run_kv(memory, *app, kPages, kOps, rng);
+  if (!result.status.ok()) {
+    std::printf("run failed: %s\n", result.status.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %llu ETC ops in %s -> %.1f kops/s (faults %llu)\n",
+              setup.name.c_str(), static_cast<unsigned long long>(kOps),
+              format_duration(result.elapsed).c_str(),
+              result.ops_per_second() / 1000.0,
+              static_cast<unsigned long long>(result.faults));
+  std::printf("tiers used: shm %llu / remote %llu / disk %llu puts\n",
+              static_cast<unsigned long long>(client.puts_to_shm()),
+              static_cast<unsigned long long>(client.puts_to_remote()),
+              static_cast<unsigned long long>(client.puts_to_disk()));
+  return 0;
+}

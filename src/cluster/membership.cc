@@ -1,0 +1,93 @@
+#include "cluster/membership.h"
+
+#include "net/wire.h"
+
+namespace dm::cluster {
+
+Membership::Membership(sim::Simulator& simulator, net::RpcEndpoint& rpc,
+                       Config config)
+    : sim_(simulator), rpc_(rpc), config_(config) {
+  const auto report_free = [this](net::NodeId, net::WireReader&)
+      -> StatusOr<std::vector<std::byte>> {
+    net::WireWriter w;
+    w.put_u64(free_provider_ ? free_provider_() : 0);
+    return std::move(w).take();
+  };
+  rpc_.handle(kRpcHeartbeat, report_free);
+  // One-shot point query of a node's donatable memory (same payload as the
+  // heartbeat reply, for callers outside the heartbeat loop).
+  rpc_.handle(kRpcQueryFree, report_free);
+}
+
+void Membership::set_free_bytes_provider(
+    std::function<std::uint64_t()> provider) {
+  free_provider_ = std::move(provider);
+}
+
+void Membership::set_peers(std::vector<net::NodeId> peers) {
+  peers_ = std::move(peers);
+  const SimTime now = sim_.now();
+  for (net::NodeId peer : peers_) {
+    auto [it, inserted] = state_.try_emplace(peer);
+    if (inserted) it->second.last_seen = now;
+  }
+}
+
+void Membership::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void Membership::tick() {
+  if (!running_) return;
+  for (net::NodeId peer : peers_) {
+    rpc_.call(peer, kRpcHeartbeat, {}, config_.rpc_timeout,
+              [this, peer](StatusOr<std::vector<std::byte>> resp) {
+                if (!resp.ok()) return;  // silence; timeout sweep handles it
+                net::WireReader r(*resp);
+                const std::uint64_t free_bytes = r.u64();
+                if (r.ok()) note_alive(peer, free_bytes);
+              });
+  }
+  check_timeouts();
+  sim_.schedule_after(config_.heartbeat_period, [this]() { tick(); });
+}
+
+void Membership::note_alive(net::NodeId peer, std::uint64_t free_bytes) {
+  auto& st = state_[peer];
+  st.last_seen = sim_.now();
+  st.free_bytes = free_bytes;
+  if (!st.alive) {
+    st.alive = true;
+    for (const auto& fn : up_listeners_) fn(peer);
+  }
+}
+
+void Membership::check_timeouts() {
+  const SimTime now = sim_.now();
+  for (net::NodeId peer : peers_) {
+    auto& st = state_[peer];
+    if (st.alive && now - st.last_seen > config_.failure_timeout) {
+      st.alive = false;
+      for (const auto& fn : down_listeners_) fn(peer);
+    }
+  }
+}
+
+bool Membership::alive(net::NodeId peer) const {
+  auto it = state_.find(peer);
+  return it != state_.end() && it->second.alive;
+}
+
+std::uint64_t Membership::last_known_free(net::NodeId peer) const {
+  auto it = state_.find(peer);
+  return it == state_.end() ? 0 : it->second.free_bytes;
+}
+
+SimTime Membership::last_seen(net::NodeId peer) const {
+  auto it = state_.find(peer);
+  return it == state_.end() ? 0 : it->second.last_seen;
+}
+
+}  // namespace dm::cluster

@@ -1,0 +1,136 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dm::cluster {
+namespace {
+
+// Filters to candidates that can host `size` bytes, preserving order.
+std::vector<CandidateNode> eligible(std::span<const CandidateNode> candidates,
+                                    std::uint64_t size) {
+  std::vector<CandidateNode> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates)
+    if (c.free_bytes >= size) out.push_back(c);
+  return out;
+}
+
+class RandomPolicy final : public PlacementPolicy {
+ public:
+  StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng) override {
+    auto pool = eligible(candidates, size);
+    if (pool.size() < count)
+      return ResourceExhaustedError("not enough eligible nodes");
+    rng.shuffle(pool);
+    std::vector<net::NodeId> out;
+    for (std::size_t i = 0; i < count; ++i) out.push_back(pool[i].node);
+    return out;
+  }
+};
+
+class RoundRobinPolicy final : public PlacementPolicy {
+ public:
+  StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng&) override {
+    auto pool = eligible(candidates, size);
+    if (pool.size() < count)
+      return ResourceExhaustedError("not enough eligible nodes");
+    std::vector<net::NodeId> out;
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(pool[(cursor_ + i) % pool.size()].node);
+    cursor_ = (cursor_ + count) % pool.size();
+    return out;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+// Weighted round robin: selection probability proportional to free bytes,
+// implemented as repeated weighted sampling without replacement.
+class WeightedRoundRobinPolicy final : public PlacementPolicy {
+ public:
+  StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng) override {
+    auto pool = eligible(candidates, size);
+    if (pool.size() < count)
+      return ResourceExhaustedError("not enough eligible nodes");
+    std::vector<net::NodeId> out;
+    while (out.size() < count) {
+      std::uint64_t total = 0;
+      for (const auto& c : pool) total += c.free_bytes;
+      std::uint64_t target = rng.next_below(total);
+      std::size_t chosen = pool.size() - 1;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (target < pool[i].free_bytes) {
+          chosen = i;
+          break;
+        }
+        target -= pool[i].free_bytes;
+      }
+      out.push_back(pool[chosen].node);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+    return out;
+  }
+};
+
+// Power of two choices: sample two random candidates, keep the one with more
+// free memory; repeat per replica (Richa/Mitzenmacher/Sitaraman, paper [31]).
+class PowerOfTwoPolicy final : public PlacementPolicy {
+ public:
+  StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng) override {
+    auto pool = eligible(candidates, size);
+    if (pool.size() < count)
+      return ResourceExhaustedError("not enough eligible nodes");
+    std::vector<net::NodeId> out;
+    while (out.size() < count) {
+      const std::size_t a = static_cast<std::size_t>(rng.next_below(pool.size()));
+      std::size_t b = static_cast<std::size_t>(rng.next_below(pool.size()));
+      if (pool.size() > 1) {
+        while (b == a) b = static_cast<std::size_t>(rng.next_below(pool.size()));
+      }
+      const std::size_t chosen =
+          pool[a].free_bytes >= pool[b].free_bytes ? a : b;
+      out.push_back(pool[chosen].node);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string_view to_string(PlacementPolicyKind kind) noexcept {
+  switch (kind) {
+    case PlacementPolicyKind::kRandom: return "random";
+    case PlacementPolicyKind::kRoundRobin: return "round-robin";
+    case PlacementPolicyKind::kWeightedRoundRobin: return "weighted-rr";
+    case PlacementPolicyKind::kPowerOfTwoChoices: return "power-of-two";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PlacementPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PlacementPolicyKind::kWeightedRoundRobin:
+      return std::make_unique<WeightedRoundRobinPolicy>();
+    case PlacementPolicyKind::kPowerOfTwoChoices:
+      return std::make_unique<PowerOfTwoPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace dm::cluster

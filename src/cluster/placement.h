@@ -1,0 +1,47 @@
+// Replica placement / memory balancing policies (paper §IV.E).
+//
+// "Several algorithms can be employed to minimize memory imbalance across
+// nodes in a cluster (or a group), such as random, round robin (RR),
+// weighted RR, or power of two choices." All four are implemented behind one
+// interface; bench_ablation_placement sweeps them and reports the resulting
+// balance (max/mean load and utilization spread).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dm::cluster {
+
+enum class PlacementPolicyKind {
+  kRandom,
+  kRoundRobin,
+  kWeightedRoundRobin,
+  kPowerOfTwoChoices,
+};
+
+std::string_view to_string(PlacementPolicyKind kind) noexcept;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Picks `count` distinct nodes from `candidates` to host replicas of an
+  // entry of `size` bytes. Candidates with free_bytes < size are skipped.
+  // Fails with kResourceExhausted when fewer than `count` eligible nodes
+  // exist.
+  virtual StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng) = 0;
+};
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    PlacementPolicyKind kind);
+
+}  // namespace dm::cluster

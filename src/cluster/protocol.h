@@ -1,0 +1,27 @@
+// Control-plane RPC method ids shared by the cluster and core layers.
+//
+// One flat method space per node keeps dispatch trivial; ids are grouped by
+// subsystem. Payload encodings are documented at each handler site.
+#pragma once
+
+#include "net/rpc.h"
+
+namespace dm::cluster {
+
+enum RpcMethodId : net::RpcMethod {
+  // membership / election
+  kRpcHeartbeat = 1,       // req: {}                 resp: u64 free_bytes
+  kRpcQueryFree = 2,       // req: {}                 resp: u64 free_bytes
+  kRpcAnnounceLeader = 3,  // req: u32 group, u32 leader   resp: {}
+  kRpcQueryCandidates = 4, // req: {}  resp: u32 n, (u32 node, u64 free)*
+
+  // remote disaggregated memory (RDMS side)
+  kRpcAllocBlock = 10,  // req: u32 owner_node, u32 server, u64 entry, u32 size
+                        // resp: u32 slab, u64 rkey, u64 offset
+  kRpcFreeBlock = 11,   // req: u64 rkey, u64 offset            resp: {}
+  kRpcEvictNotice = 12, // req: u32 count, {u32 server, u64 entry}*  resp: {}
+  kRpcReadBlock = 13,   // req: u64 rkey, u64 offset, u32 size
+                        // resp: bytes (two-sided fallback read path)
+};
+
+}  // namespace dm::cluster

@@ -1,0 +1,18 @@
+// Shared vocabulary for cluster-level coordination.
+#pragma once
+
+#include <cstdint>
+
+#include "net/rdma.h"
+
+namespace dm::cluster {
+
+using ServerId = std::uint32_t;  // virtual server (VM/container/JVM executor)
+
+// What placement decisions see about a prospective remote host.
+struct CandidateNode {
+  net::NodeId node = net::kInvalidNode;
+  std::uint64_t free_bytes = 0;
+};
+
+}  // namespace dm::cluster

@@ -1,0 +1,23 @@
+// FNV-1a 64-bit checksum over byte spans.
+//
+// Tests use checksums to verify end-to-end integrity of pages that travel
+// shared-memory -> remote -> disk and back (no silent corruption in any
+// copy/compress/replicate path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dm {
+
+constexpr std::uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace dm

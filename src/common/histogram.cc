@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/units.h"
+
+namespace dm {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(std::uint64_t value) noexcept {
+  if (value < (1u << kSubBucketsLog2)) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketsLog2;
+  const auto sub = static_cast<std::size_t>(value >> shift) &
+                   ((1u << kSubBucketsLog2) - 1);
+  const auto index = (static_cast<std::size_t>(msb - kSubBucketsLog2 + 1)
+                      << kSubBucketsLog2) + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index < (1u << kSubBucketsLog2)) return index;
+  const std::size_t octave = (index >> kSubBucketsLog2);
+  const std::size_t sub = index & ((1u << kSubBucketsLog2) - 1);
+  const int shift = static_cast<int>(octave) - 1;
+  return ((1ULL << kSubBucketsLog2) + sub + 1) << shift;
+}
+
+void Histogram::record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  buckets_[bucket_for(value)] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+std::string Histogram::summary_duration() const {
+  std::string out = "n=" + std::to_string(count_);
+  out += " mean=" + format_duration(static_cast<SimTime>(mean()));
+  out += " p50=" + format_duration(static_cast<SimTime>(p50()));
+  out += " p99=" + format_duration(static_cast<SimTime>(p99()));
+  out += " max=" + format_duration(static_cast<SimTime>(max()));
+  return out;
+}
+
+}  // namespace dm

@@ -1,0 +1,54 @@
+// Log-bucketed histogram for latency/size distributions.
+//
+// Buckets grow geometrically (factor ~1.25 by default via 4 sub-buckets per
+// power of two), giving <13% relative error on percentile queries while using
+// a few hundred fixed buckets — enough for ns..hours latency ranges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dm {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t value) noexcept;
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  std::uint64_t sum() const noexcept { return sum_; }
+
+  // quantile in [0,1]; returns an upper bound of the bucket containing it.
+  std::uint64_t percentile(double q) const noexcept;
+  std::uint64_t p50() const noexcept { return percentile(0.50); }
+  std::uint64_t p99() const noexcept { return percentile(0.99); }
+
+  void merge(const Histogram& other) noexcept;
+  void reset() noexcept;
+
+  // One-line summary: "n=1000 mean=1.2us p50=1.1us p99=3.0us max=5.5us"
+  std::string summary_duration() const;
+
+ private:
+  static std::size_t bucket_for(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+
+  static constexpr int kSubBucketsLog2 = 2;  // 4 sub-buckets per octave
+  static constexpr std::size_t kNumBuckets = 64 << kSubBucketsLog2;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dm

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (discrete-event), so the logger
+// keeps no locks. Level is per-Logger, not global, so tests can silence
+// subsystems independently. Defaults to kWarn to keep benches quiet.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  explicit Logger(std::string tag, LogLevel level = LogLevel::kWarn)
+      : tag_(std::move(tag)), level_(level) {}
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    os << '[' << level_name(level) << "] " << tag_ << ": ";
+    (os << ... << args);
+    os << '\n';
+    std::clog << os.str();
+  }
+
+  template <typename... Args>
+  void debug(const Args&... args) const { log(LogLevel::kDebug, args...); }
+  template <typename... Args>
+  void info(const Args&... args) const { log(LogLevel::kInfo, args...); }
+  template <typename... Args>
+  void warn(const Args&... args) const { log(LogLevel::kWarn, args...); }
+  template <typename... Args>
+  void error(const Args&... args) const { log(LogLevel::kError, args...); }
+
+ private:
+  static std::string_view level_name(LogLevel level) noexcept {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  std::string tag_;
+  LogLevel level_;
+};
+
+}  // namespace dm

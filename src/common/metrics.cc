@@ -1,0 +1,22 @@
+#include "common/metrics.h"
+
+namespace dm {
+
+std::string MetricsRegistry::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += name;
+    out += ": ";
+    out += hist.summary_duration();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dm

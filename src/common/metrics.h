@@ -1,0 +1,53 @@
+// Named-counter/histogram registry.
+//
+// Each subsystem owns a MetricsRegistry (no global state), which benches and
+// tests read to assert behavioural properties ("zero disk I/O in FS-SM
+// mode", "3 replica writes per put").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace dm {
+
+class MetricsRegistry {
+ public:
+  // Returns the counter by name, creating it at zero on first use.
+  std::uint64_t& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+  std::uint64_t counter_value(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  Histogram& histogram(std::string_view name) {
+    return histograms_[std::string(name)];
+  }
+  const Histogram* find_histogram(std::string_view name) const {
+    auto it = histograms_.find(std::string(name));
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  void reset() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  // "name=value" lines, sorted by name; for debug dumps.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dm

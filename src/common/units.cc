@@ -1,0 +1,42 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace dm {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix{"B", "KiB", "MiB", "GiB",
+                                                      "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kSuffix[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, kSuffix[unit]);
+  }
+  return buf;
+}
+
+std::string format_duration(SimTime ns) {
+  char buf[32];
+  const double v = static_cast<double>(ns);
+  if (ns < kMicro) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < kMilli) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / static_cast<double>(kMicro));
+  } else if (ns < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / static_cast<double>(kMilli));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / static_cast<double>(kSecond));
+  }
+  return buf;
+}
+
+}  // namespace dm

@@ -1,0 +1,30 @@
+// Byte/time units and human-readable formatting.
+//
+// Virtual time across the library is a count of simulated nanoseconds
+// (SimTime). Sizes are in bytes. The literals keep configuration readable:
+//   pool.capacity = 64 * MiB;   deadline = 5 * kMilli;
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dm {
+
+using SimTime = std::int64_t;  // virtual nanoseconds since simulation start
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+inline constexpr SimTime kNano = 1;
+inline constexpr SimTime kMicro = 1000 * kNano;
+inline constexpr SimTime kMilli = 1000 * kMicro;
+inline constexpr SimTime kSecond = 1000 * kMilli;
+
+// "4.0KiB", "2.5GiB", "617B"
+std::string format_bytes(std::uint64_t bytes);
+
+// "1.50ms", "2.3s", "800ns"
+std::string format_duration(SimTime ns);
+
+}  // namespace dm

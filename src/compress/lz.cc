@@ -1,0 +1,107 @@
+#include "compress/lz.h"
+
+#include <array>
+#include <cstring>
+
+namespace dm::compress {
+namespace {
+
+// Hash of the 3 bytes at p, for the match-finder table.
+inline std::uint32_t hash3(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 3);
+  return (v * 2654435761u) >> 20;  // 12-bit table index
+}
+
+constexpr std::size_t kHashSize = 1u << 12;
+
+}  // namespace
+
+std::vector<std::byte> lz_compress(std::span<const std::byte> input) {
+  std::vector<std::byte> out;
+  out.reserve(input.size() / 2 + 16);
+
+  std::array<std::int32_t, kHashSize> table;
+  table.fill(-1);
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    // Emit one control byte covering up to 8 items.
+    const std::size_t control_at = out.size();
+    out.push_back(std::byte{0});
+    std::uint8_t control = 0;
+
+    for (int item = 0; item < 8 && pos < input.size(); ++item) {
+      std::size_t best_len = 0;
+      std::size_t best_off = 0;
+      if (pos + kMinMatch <= input.size()) {
+        const std::uint32_t h = hash3(input.data() + pos);
+        const std::int32_t cand = table[h];
+        table[h] = static_cast<std::int32_t>(pos);
+        if (cand >= 0) {
+          const auto offset = pos - static_cast<std::size_t>(cand);
+          if (offset > 0 && offset <= kLzWindow) {
+            std::size_t len = 0;
+            const std::size_t limit =
+                std::min(kMaxMatch, input.size() - pos);
+            const std::byte* src = input.data() + cand;
+            const std::byte* cur = input.data() + pos;
+            while (len < limit && src[len] == cur[len]) ++len;
+            if (len >= kMinMatch) {
+              best_len = len;
+              best_off = offset;
+            }
+          }
+        }
+      }
+      if (best_len >= kMinMatch) {
+        control |= static_cast<std::uint8_t>(1u << item);
+        // offset-1 fits 11 bits (1..2048), length-3 fits 5 bits (3..34).
+        const auto packed = static_cast<std::uint16_t>(
+            ((best_off - 1) << 5) | (best_len - kMinMatch));
+        out.push_back(static_cast<std::byte>(packed & 0xff));
+        out.push_back(static_cast<std::byte>(packed >> 8));
+        pos += best_len;
+      } else {
+        out.push_back(input[pos]);
+        ++pos;
+      }
+    }
+    out[control_at] = static_cast<std::byte>(control);
+  }
+  return out;
+}
+
+Status lz_decompress(std::span<const std::byte> input,
+                     std::span<std::byte> output) {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  while (out < output.size()) {
+    if (in >= input.size()) return DataLossError("compressed stream truncated");
+    const auto control = static_cast<std::uint8_t>(input[in++]);
+    for (int item = 0; item < 8 && out < output.size(); ++item) {
+      if (control & (1u << item)) {
+        if (in + 2 > input.size())
+          return DataLossError("truncated match token");
+        const auto lo = static_cast<std::uint16_t>(input[in]);
+        const auto hi = static_cast<std::uint16_t>(input[in + 1]);
+        in += 2;
+        const std::uint16_t packed = static_cast<std::uint16_t>(lo | (hi << 8));
+        const std::size_t offset = static_cast<std::size_t>(packed >> 5) + 1;
+        const std::size_t length = (packed & 0x1f) + kMinMatch;
+        if (offset > out) return DataLossError("match offset before start");
+        if (out + length > output.size())
+          return DataLossError("match overruns output");
+        // Byte-wise copy: matches may self-overlap (RLE-style).
+        for (std::size_t i = 0; i < length; ++i, ++out)
+          output[out] = output[out - offset];
+      } else {
+        if (in >= input.size()) return DataLossError("truncated literal");
+        output[out++] = input[in++];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dm::compress

@@ -1,0 +1,164 @@
+#include "core/dm_system.h"
+
+namespace dm::core {
+
+DmSystem::DmSystem(Config config)
+    : config_(std::move(config)), failures_(sim_),
+      fabric_(std::make_unique<net::Fabric>(sim_, config_.fabric)),
+      connections_(std::make_unique<net::ConnectionManager>(*fabric_)) {
+  std::vector<net::NodeId> ids;
+  ids.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i)
+    ids.push_back(static_cast<net::NodeId>(i));
+
+  groups_ = std::make_unique<cluster::GroupDirectory>(ids,
+                                                      config_.group_size);
+
+  for (net::NodeId id : ids) {
+    auto node_config = config_.node;
+    node_config.rng_seed = config_.seed;
+    nodes_.push_back(std::make_unique<cluster::Node>(
+        sim_, *fabric_, *connections_, id, node_config));
+  }
+  for (auto& node : nodes_) {
+    const cluster::GroupId group = groups_->group_of(node->id());
+    node->join_group(group, groups_->members(group));
+  }
+  for (auto& node : nodes_)
+    services_.push_back(
+        std::make_unique<NodeService>(*node, config_.service));
+}
+
+DmSystem::~DmSystem() = default;
+
+void DmSystem::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& node : nodes_) {
+    node->membership().start();
+    if (node->election() != nullptr) node->election()->start();
+  }
+  for (auto& service : services_) {
+    service->start_eviction_monitor();
+    service->start_candidate_refresh();
+  }
+  if (config_.regroup_low_watermark > 0.0) {
+    // Periodic regroup evaluation (self-rescheduling functor).
+    struct Rearm {
+      DmSystem* self;
+      void operator()() {
+        (void)self->regroup_tick();
+        self->sim_.schedule_after(self->config_.regroup_check_period, *this);
+      }
+    };
+    sim_.schedule_after(config_.regroup_check_period, Rearm{this});
+  }
+  run_for(config_.warmup);
+}
+
+std::optional<net::NodeId> DmSystem::regroup_tick() {
+  auto free_of = [this](net::NodeId id) -> std::uint64_t {
+    for (auto& node : nodes_)
+      if (node->id() == id && node->up()) return node->donatable_free_bytes();
+    return 0;
+  };
+  // Find the most starved group below the watermark. A manual tick (no
+  // configured watermark) uses a conservative default of 25% free.
+  std::optional<cluster::GroupId> starved;
+  double worst = config_.regroup_low_watermark > 0.0
+                     ? config_.regroup_low_watermark
+                     : 0.25;
+  for (cluster::GroupId g = 0; g < groups_->group_count(); ++g) {
+    std::uint64_t free_bytes = 0;
+    std::uint64_t capacity = 0;
+    for (net::NodeId member : groups_->members(g)) {
+      free_bytes += free_of(member);
+      for (auto& node : nodes_)
+        if (node->id() == member)
+          capacity += node->recv_pool().capacity_bytes();
+    }
+    if (capacity == 0) continue;
+    const double fraction =
+        static_cast<double>(free_bytes) / static_cast<double>(capacity);
+    if (fraction < worst) {
+      worst = fraction;
+      starved = g;
+    }
+  }
+  if (!starved) return std::nullopt;
+
+  const auto moved = groups_->regroup_into(*starved, free_of);
+  if (!moved) return std::nullopt;
+  ++regroups_;
+  // Rewire membership/elections for both affected groups. The moved node's
+  // old group is found from the directory post-move via scanning.
+  rewire_group(*starved);
+  for (cluster::GroupId g = 0; g < groups_->group_count(); ++g)
+    if (g != *starved) rewire_group(g);
+  return moved;
+}
+
+void DmSystem::rewire_group(cluster::GroupId group) {
+  const auto& members = groups_->members(group);
+  for (net::NodeId id : members) {
+    for (auto& node : nodes_) {
+      if (node->id() != id) continue;
+      node->join_group(group, members);
+      // Crashed nodes stay silent until recover_node() restarts them.
+      if (!node->up()) continue;
+      node->membership().start();
+      if (node->election() != nullptr) node->election()->start();
+    }
+  }
+}
+
+Ldmc& DmSystem::create_server(std::size_t node_index,
+                              std::uint64_t allocated_bytes,
+                              LdmcOptions options, cluster::ServerKind kind) {
+  cluster::Node& host = node(node_index);
+  const cluster::ServerId id = next_server_++;
+  host.add_server(id, kind, allocated_bytes,
+                  config_.default_donation_fraction);
+  return service(node_index).create_client(id, options);
+}
+
+void DmSystem::crash_node(std::size_t index) {
+  fabric_->set_node_up(node(index).id(), false);
+  node(index).membership().stop();
+}
+
+void DmSystem::recover_node(std::size_t index) {
+  // A reboot loses DRAM contents: hosted blocks are gone (their owners
+  // re-replicated elsewhere while the node was down).
+  service(index).rdms().drop_all_blocks();
+  fabric_->set_node_up(node(index).id(), true);
+  node(index).membership().start();
+}
+
+std::string DmSystem::utilization_report() {
+  std::string out = "node  up  shm-used/donated      recv-used/capacity    "
+                    "hosted  servers\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = *nodes_[i];
+    char line[160];
+    std::snprintf(
+        line, sizeof(line), "%-4u  %-2s  %10s/%-10s %10s/%-10s %6zu  %zu\n",
+        node.id(), node.up() ? "y" : "n",
+        format_bytes(node.shm().used_bytes()).c_str(),
+        format_bytes(node.shm().total_donated()).c_str(),
+        format_bytes(node.recv_pool().used_bytes()).c_str(),
+        format_bytes(node.recv_pool().capacity_bytes()).c_str(),
+        services_[i]->rdms().hosted_blocks(), node.server_ids().size());
+    out += line;
+  }
+  return out;
+}
+
+std::uint64_t DmSystem::total_counter(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& service : services_)
+    total += service->metrics().counter_value(name);
+  return total;
+}
+
+}  // namespace dm::core

@@ -1,0 +1,119 @@
+// DmSystem — the public façade of the disaggregated memory system.
+//
+// Builds and wires the full stack of paper Fig. 1 for an n-node cluster:
+// simulator, RDMA fabric, connection manager, per-node pools and services,
+// hierarchical groups with leader election, and membership heartbeats.
+// Applications (and the swap / RDD-cache layers) then create virtual
+// servers and obtain their LDMC handles.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   dm::core::DmSystem::Config cfg;
+//   cfg.node_count = 4;
+//   dm::core::DmSystem system(cfg);
+//   system.start();                       // heartbeats, elections, warm-up
+//   auto& client = system.create_server(/*node=*/0, 256 * dm::MiB);
+//   client.put_sync(42, page_bytes);
+//   client.get_sync(42, out_bytes);
+//
+// Failure injection for tests/benches: crash_node() drops a node from the
+// fabric (its DRAM contents are lost, as on a real power failure);
+// recover_node() brings the machine back empty.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/group.h"
+#include "cluster/node.h"
+#include "core/ldmc.h"
+#include "core/node_service.h"
+#include "net/connection_manager.h"
+#include "sim/failure_injector.h"
+
+namespace dm::core {
+
+class DmSystem {
+ public:
+  struct Config {
+    std::size_t node_count = 4;
+    std::size_t group_size = 8;
+    cluster::Node::Config node{};
+    NodeService::Config service{};
+    net::Fabric::Config fabric{};
+    double default_donation_fraction = 0.10;  // paper §IV.F: 10% initially
+    std::uint64_t seed = 42;
+    // Virtual time to run after start() so heartbeats populate the
+    // candidate free-memory views before the first placement decision.
+    SimTime warmup = 1 * kSecond;
+    // §IV.C dynamic regrouping: when a group's aggregate donatable memory
+    // falls below this fraction of its capacity, pull a donor node in from
+    // the richest group (0 disables).
+    double regroup_low_watermark = 0.0;
+    SimTime regroup_check_period = 1 * kSecond;
+  };
+
+  explicit DmSystem(Config config);
+  ~DmSystem();
+
+  DmSystem(const DmSystem&) = delete;
+  DmSystem& operator=(const DmSystem&) = delete;
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  net::Fabric& fabric() noexcept { return *fabric_; }
+  sim::FailureInjector& failures() noexcept { return failures_; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  cluster::Node& node(std::size_t index) { return *nodes_.at(index); }
+  NodeService& service(std::size_t index) { return *services_.at(index); }
+  cluster::GroupDirectory& groups() noexcept { return *groups_; }
+
+  // Starts membership, elections and the eviction monitors, then runs the
+  // warm-up window.
+  void start();
+
+  // Creates a virtual server on `node_index` and returns its LDMC.
+  Ldmc& create_server(std::size_t node_index, std::uint64_t allocated_bytes,
+                      LdmcOptions options = {},
+                      cluster::ServerKind kind = cluster::ServerKind::kVm);
+
+  // --- failure injection ------------------------------------------------------
+  void crash_node(std::size_t index);
+  void recover_node(std::size_t index);
+
+  // Runs the simulator for `duration` of virtual time (background work:
+  // heartbeats, repairs, monitors).
+  void run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+
+  // One evaluation of the §IV.C regrouping rule (also runs periodically
+  // when Config::regroup_low_watermark > 0). Returns the node moved, if
+  // any.
+  std::optional<net::NodeId> regroup_tick();
+  std::uint64_t regroups() const noexcept { return regroups_; }
+
+  // Aggregate counters across all node services (testing/benching aid).
+  std::uint64_t total_counter(std::string_view name) const;
+
+  // Human-readable per-node utilization snapshot: shared-pool usage vs
+  // donations, receive-pool (donated DRAM) usage, hosted blocks, disk use —
+  // the cluster-operator view of the paper's §I imbalance metrics.
+  std::string utilization_report();
+
+ private:
+  Config config_;
+  sim::Simulator sim_;
+  sim::FailureInjector failures_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::ConnectionManager> connections_;
+  std::unique_ptr<cluster::GroupDirectory> groups_;
+  std::vector<std::unique_ptr<cluster::Node>> nodes_;
+  std::vector<std::unique_ptr<NodeService>> services_;
+  void rewire_group(cluster::GroupId group);
+
+  cluster::ServerId next_server_ = 1;
+  std::uint64_t regroups_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dm::core

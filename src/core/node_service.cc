@@ -1,0 +1,722 @@
+#include "core/node_service.h"
+
+#include <algorithm>
+
+#include "core/ldmc.h"
+#include "net/wire.h"
+
+namespace dm::core {
+
+using cluster::kRpcEvictNotice;
+using cluster::kRpcQueryCandidates;
+
+NodeService::NodeService(cluster::Node& node, Config config)
+    : node_(node), config_(std::move(config)), rdms_(node),
+      rdmc_(node, config_.rdmc) {
+  // Candidate set for placement: either this node's own heartbeat view or
+  // the leader-aggregated cache (§IV.E), when enabled and populated.
+  rdmc_.set_candidates_provider([this]() {
+    if (config_.leader_candidates && !candidate_cache_.empty())
+      return candidate_cache_;
+    return local_candidate_view(/*include_self=*/false);
+  });
+  node_.rpc().handle(kRpcQueryCandidates,
+                     [this](net::NodeId from, net::WireReader& r) {
+                       return handle_query_candidates(from, r);
+                     });
+  node_.rpc().handle(kRpcEvictNotice,
+                     [this](net::NodeId from, net::WireReader& r) {
+                       return handle_evict_notice(from, r);
+                     });
+  node_.membership().on_peer_down(
+      [this](net::NodeId dead) { repair_after_node_down(dead); });
+}
+
+NodeService::~NodeService() = default;
+
+Ldmc& NodeService::create_client(cluster::ServerId server,
+                                 LdmcOptions options) {
+  auto it = clients_.find(server);
+  if (it != clients_.end()) return *it->second;
+  auto client = std::make_unique<Ldmc>(*this, server, options);
+  auto* raw = client.get();
+  clients_.emplace(server, std::move(client));
+  return *raw;
+}
+
+Ldmc* NodeService::client(cluster::ServerId server) {
+  auto it = clients_.find(server);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+// ---- put path ---------------------------------------------------------------
+
+void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
+                            std::span<const std::byte> data, bool prefer_shm,
+                            bool allow_remote, bool allow_disk,
+                            PutCallback done) {
+  ++dm_requests_window_[server];
+
+  if (prefer_shm) {
+    // Iterative shm attempt with bounded LRU spill (§IV.B: the LDMS asks
+    // the node manager for more shared-memory space before going remote).
+    struct ShmAttempt : std::enable_shared_from_this<ShmAttempt> {
+      NodeService* self;
+      cluster::ServerId server;
+      mem::EntryId entry;
+      std::vector<std::byte> payload;
+      std::size_t spill_budget;
+      bool allow_remote;
+      bool allow_disk;
+      PutCallback done;
+
+      void run() {
+        Status s = self->node_.shm().put(server, entry, payload);
+        if (s.ok()) {
+          mem::EntryLocation loc;
+          loc.tier = mem::Tier::kSharedMemory;
+          loc.stored_size = static_cast<std::uint32_t>(payload.size());
+          const SimTime cost = self->node_.fabric()
+                                   .config()
+                                   .latency.shared_memory.cost(payload.size());
+          ++self->metrics_.counter("ldms.put_shm");
+          self->node_.simulator().schedule_after(
+              cost, [loc, done = std::move(done)]() { done(loc); });
+          return;
+        }
+        const bool can_spill = s.code() == StatusCode::kResourceExhausted &&
+                               self->config_.spill_shm_lru && allow_remote &&
+                               spill_budget > 0;
+        if (can_spill) {
+          --spill_budget;
+          auto self_ptr = shared_from_this();
+          self->spill_one([self_ptr](bool progressed) {
+            if (progressed) {
+              self_ptr->run();
+            } else {
+              self_ptr->fall_through();
+            }
+          });
+          return;
+        }
+        fall_through();
+      }
+
+      void fall_through() {
+        if (allow_remote) {
+          self->put_remote(server, entry, payload, allow_disk,
+                           std::move(done));
+        } else if (allow_disk) {
+          self->put_device(server, entry, payload, std::move(done));
+        } else {
+          done(ResourceExhaustedError("no tier available for entry"));
+        }
+      }
+    };
+    auto attempt = std::make_shared<ShmAttempt>();
+    attempt->self = this;
+    attempt->server = server;
+    attempt->entry = entry;
+    attempt->payload.assign(data.begin(), data.end());
+    attempt->spill_budget = config_.max_spill_per_put;
+    attempt->allow_remote = allow_remote;
+    attempt->allow_disk = allow_disk;
+    attempt->done = std::move(done);
+    attempt->run();
+    return;
+  }
+
+  if (allow_remote) {
+    put_remote(server, entry, data, allow_disk, std::move(done));
+  } else if (allow_disk) {
+    put_device(server, entry, data, std::move(done));
+  } else {
+    done(ResourceExhaustedError("no tier available for entry"));
+  }
+}
+
+void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
+                             std::span<const std::byte> data, bool allow_disk,
+                             PutCallback done) {
+  ++remote_puts_window_;
+  const auto size = static_cast<std::uint32_t>(data.size());
+  // Keep a copy for the disk fallback: rdmc consumes the span immediately,
+  // but on failure we need the bytes again.
+  auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                          data.end());
+  rdmc_.put(server, entry, *payload,
+            [this, server, entry, size, allow_disk, payload,
+             done = std::move(done)](
+                StatusOr<std::vector<mem::RemoteReplica>> replicas) mutable {
+              if (replicas.ok()) {
+                mem::EntryLocation loc;
+                loc.tier = mem::Tier::kRemote;
+                loc.stored_size = size;
+                loc.replicas = *std::move(replicas);
+                ++metrics_.counter("ldms.put_remote");
+                done(loc);
+                return;
+              }
+              if (allow_disk) {
+                ++metrics_.counter("ldms.remote_overflow_to_disk");
+                put_device(server, entry, *payload, std::move(done));
+                return;
+              }
+              done(replicas.status());
+            });
+}
+
+void NodeService::put_device(cluster::ServerId server, mem::EntryId entry,
+                             std::span<const std::byte> data,
+                             PutCallback done) {
+  // §VI convergence: a local NVM tier, when present, sits between remote
+  // memory and the rotational swap device.
+  if (node_.nvm() != nullptr) {
+    put_nvm(server, entry, data, std::move(done));
+    return;
+  }
+  put_disk(server, entry, data, std::move(done));
+}
+
+void NodeService::put_nvm(cluster::ServerId server, mem::EntryId entry,
+                          std::span<const std::byte> data, PutCallback done) {
+  auto offset = alloc_nvm(static_cast<std::uint32_t>(data.size()));
+  if (!offset.ok()) {
+    // NVM full: fall through to the disk below it.
+    ++metrics_.counter("ldms.nvm_overflow_to_disk");
+    put_disk(server, entry, data, std::move(done));
+    return;
+  }
+  const auto size = static_cast<std::uint32_t>(data.size());
+  const std::uint64_t at = *offset;
+  auto done_ptr = std::make_shared<PutCallback>(std::move(done));
+  Status posted = node_.nvm()->write(
+      at, data, [this, at, size, done_ptr](const Status& s, SimTime) {
+        if (!s.ok()) {
+          free_nvm(at, size);
+          (*done_ptr)(s);
+          return;
+        }
+        mem::EntryLocation loc;
+        loc.tier = mem::Tier::kNvm;
+        loc.stored_size = size;
+        loc.disk_offset = at;
+        ++metrics_.counter("ldms.put_nvm");
+        (*done_ptr)(loc);
+      });
+  if (!posted.ok()) {
+    free_nvm(at, size);
+    (*done_ptr)(posted);
+  }
+}
+
+void NodeService::put_disk(cluster::ServerId server, mem::EntryId entry,
+                           std::span<const std::byte> data, PutCallback done) {
+  (void)server;
+  (void)entry;
+  auto offset = alloc_disk(static_cast<std::uint32_t>(data.size()));
+  if (!offset.ok()) {
+    done(offset.status());
+    return;
+  }
+  const auto size = static_cast<std::uint32_t>(data.size());
+  const std::uint64_t at = *offset;
+  // Shared so the error path below can still invoke it if the device
+  // rejects the I/O at post time (the lambda then never runs).
+  auto done_ptr = std::make_shared<PutCallback>(std::move(done));
+  Status posted = node_.disk().write(
+      at, data, [this, at, size, done_ptr](const Status& s, SimTime) {
+        if (!s.ok()) {
+          free_disk(at, size);
+          (*done_ptr)(s);
+          return;
+        }
+        mem::EntryLocation loc;
+        loc.tier = mem::Tier::kDisk;
+        loc.stored_size = size;
+        loc.disk_offset = at;
+        ++metrics_.counter("ldms.put_disk");
+        (*done_ptr)(loc);
+      });
+  if (!posted.ok()) {
+    free_disk(at, size);
+    ++metrics_.counter("ldms.put_disk_failed");
+    (*done_ptr)(posted);
+  }
+}
+
+void NodeService::spill_one(std::function<void(bool)> done) {
+  auto victim = node_.shm().lru_entry();
+  if (!victim) {
+    done(false);
+    return;
+  }
+  const auto [owner, entry] = *victim;
+  Ldmc* owner_client = client(owner);
+  if (owner_client == nullptr) {
+    done(false);
+    return;
+  }
+  auto old_loc = owner_client->map().lookup(entry);
+  if (!old_loc.ok() || old_loc->tier != mem::Tier::kSharedMemory) {
+    // Map and pool disagree; drop the orphan pool entry defensively.
+    (void)node_.shm().remove(owner, entry);
+    ++metrics_.counter("ldms.spill_orphan");
+    done(true);
+    return;
+  }
+  auto size = node_.shm().stored_size(owner, entry);
+  if (!size.ok()) {
+    done(false);
+    return;
+  }
+  auto bytes = std::make_shared<std::vector<std::byte>>(*size);
+  if (Status s = node_.shm().peek(owner, entry, *bytes); !s.ok()) {
+    done(false);
+    return;
+  }
+  rdmc_.put(owner, entry, *bytes,
+            [this, owner, entry, bytes, old = *old_loc,
+             done = std::move(done)](
+                StatusOr<std::vector<mem::RemoteReplica>> replicas) {
+              if (!replicas.ok()) {
+                ++metrics_.counter("ldms.spill_failed");
+                done(false);
+                return;
+              }
+              // Re-check: the owner may have removed or moved the entry
+              // while the replicated put was in flight — committing now
+              // would resurrect it with stale data and leak the blocks.
+              Ldmc* owner_client = client(owner);
+              auto current = owner_client != nullptr
+                                 ? owner_client->map().lookup(entry)
+                                 : NotFoundError("owner gone");
+              if (!current.ok() ||
+                  current->tier != mem::Tier::kSharedMemory) {
+                rdmc_.free_replicas(*std::move(replicas));
+                ++metrics_.counter("ldms.spill_stale");
+                done(node_.shm().contains(owner, entry)
+                         ? false
+                         : true);  // space may already be free
+                return;
+              }
+              mem::EntryLocation loc = old;
+              loc.tier = mem::Tier::kRemote;
+              loc.replicas = *std::move(replicas);
+              owner_client->map().commit(entry, std::move(loc));
+              (void)node_.shm().remove(owner, entry);
+              ++metrics_.counter("ldms.spilled_to_remote");
+              done(true);
+            });
+}
+
+// ---- get / remove paths -----------------------------------------------------
+
+void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
+                            const mem::EntryLocation& location,
+                            std::uint64_t offset, std::span<std::byte> out,
+                            DoneCallback done) {
+  switch (location.tier) {
+    case mem::Tier::kSharedMemory: {
+      Status s = node_.shm().get_range(server, entry, offset, out);
+      const SimTime cost =
+          node_.fabric().config().latency.shared_memory.cost(out.size());
+      node_.simulator().schedule_after(
+          cost, [s, done = std::move(done)]() { done(s); });
+      return;
+    }
+    case mem::Tier::kRemote:
+      rdmc_.read(location.replicas, offset, out, std::move(done));
+      return;
+    case mem::Tier::kNvm:
+    case mem::Tier::kDisk: {
+      storage::BlockDevice* device =
+          location.tier == mem::Tier::kNvm ? node_.nvm() : &node_.disk();
+      if (device == nullptr) {
+        done(FailedPreconditionError("entry on absent NVM tier"));
+        return;
+      }
+      auto done_ptr = std::make_shared<DoneCallback>(std::move(done));
+      Status posted = device->read(
+          location.disk_offset + offset, out,
+          [done_ptr](const Status& s, SimTime) { (*done_ptr)(s); });
+      if (!posted.ok()) {
+        node_.simulator().schedule_after(
+            0, [posted, done_ptr]() { (*done_ptr)(posted); });
+      }
+      return;
+    }
+  }
+  done(InternalError("unknown tier"));
+}
+
+void NodeService::remove_entry(cluster::ServerId server, mem::EntryId entry,
+                               const mem::EntryLocation& location,
+                               DoneCallback done) {
+  switch (location.tier) {
+    case mem::Tier::kSharedMemory: {
+      Status s = node_.shm().remove(server, entry);
+      node_.simulator().schedule_after(
+          node_.fabric().config().latency.shared_memory.overhead_ns,
+          [s, done = std::move(done)]() { done(s); });
+      return;
+    }
+    case mem::Tier::kRemote:
+      rdmc_.free_replicas(location.replicas, std::move(done));
+      return;
+    case mem::Tier::kNvm:
+      free_nvm(location.disk_offset, location.stored_size);
+      node_.simulator().schedule_after(
+          0, [done = std::move(done)]() { done(Status::Ok()); });
+      return;
+    case mem::Tier::kDisk:
+      free_disk(location.disk_offset, location.stored_size);
+      node_.simulator().schedule_after(
+          0, [done = std::move(done)]() { done(Status::Ok()); });
+      return;
+  }
+  done(InternalError("unknown tier"));
+}
+
+// ---- eviction notices and migration (§IV.F) ---------------------------------
+
+StatusOr<std::vector<std::byte>> NodeService::handle_evict_notice(
+    net::NodeId, net::WireReader& req) {
+  const auto evicting = static_cast<net::NodeId>(req.u32());
+  const auto count = req.u32();
+  DM_RETURN_IF_ERROR(req.status());
+  std::vector<std::pair<cluster::ServerId, mem::EntryId>> victims;
+  victims.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto server = static_cast<cluster::ServerId>(req.u32());
+    const auto entry = static_cast<mem::EntryId>(req.u64());
+    if (!req.ok()) break;
+    victims.emplace_back(server, entry);
+  }
+  DM_RETURN_IF_ERROR(req.status());
+  // Ack immediately; migrations proceed asynchronously and complete the
+  // drain by freeing the old blocks.
+  for (const auto& [server, entry] : victims) {
+    node_.simulator().schedule_after(0, [this, evicting, server = server,
+                                         entry = entry]() {
+      migrate_entry(server, entry, evicting);
+    });
+  }
+  return std::vector<std::byte>{};
+}
+
+void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
+                                net::NodeId away_from) {
+  Ldmc* owner = client(server);
+  if (owner == nullptr) {
+    ++metrics_.counter("ldms.migrate_unknown_server");
+    return;
+  }
+  auto loc = owner->map().lookup(entry);
+  if (!loc.ok() || loc->tier != mem::Tier::kRemote) {
+    ++metrics_.counter("ldms.migrate_stale");
+    return;
+  }
+  mem::RemoteReplica old_replica;
+  std::vector<mem::RemoteReplica> survivors;
+  for (const auto& replica : loc->replicas) {
+    if (replica.node == away_from) {
+      old_replica = replica;
+    } else {
+      survivors.push_back(replica);
+    }
+  }
+  if (old_replica.node == net::kInvalidNode) {
+    ++metrics_.counter("ldms.migrate_stale");
+    return;
+  }
+  // Read the entry (prefer a surviving replica; the evicting node is still
+  // up, so it serves as the last resort).
+  auto sources = survivors.empty()
+                     ? std::vector<mem::RemoteReplica>{old_replica}
+                     : survivors;
+  auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
+  std::vector<net::NodeId> exclude;
+  for (const auto& replica : loc->replicas) exclude.push_back(replica.node);
+  rdmc_.read(
+      sources, 0, *bytes,
+      [this, server, entry, bytes, survivors, old_replica,
+       exclude = std::move(exclude), base = *loc](const Status& s) mutable {
+        if (!s.ok()) {
+          ++metrics_.counter("ldms.migrate_read_failed");
+          return;
+        }
+        rdmc_.put(
+            server, entry, *bytes,
+            [this, server, entry, bytes, survivors, old_replica,
+             base = std::move(base)](
+                StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+              if (!fresh.ok()) {
+                ++metrics_.counter("ldms.migrate_put_failed");
+                return;
+              }
+              Ldmc* owner = client(server);
+              // Re-check: the entry may have been removed or relocated
+              // while the migration was in flight (same rule as the
+              // repair path) — never resurrect it.
+              auto current = owner != nullptr
+                                 ? owner->map().lookup(entry)
+                                 : NotFoundError("owner gone");
+              if (!current.ok() || current->tier != mem::Tier::kRemote) {
+                rdmc_.free_replicas(*std::move(fresh));
+                ++metrics_.counter("ldms.migrate_stale");
+                return;
+              }
+              mem::EntryLocation loc = std::move(base);
+              loc.replicas = std::move(survivors);
+              for (auto& replica : *fresh)
+                loc.replicas.push_back(replica);
+              owner->map().commit(entry, std::move(loc));
+              rdmc_.free_replicas({old_replica});
+              ++metrics_.counter("ldms.migrated_entries");
+            },
+            exclude, /*count=*/1);
+      });
+}
+
+void NodeService::repair_after_node_down(net::NodeId dead) {
+  for (auto& [server, client_ptr] : clients_) {
+    Ldmc* owner = client_ptr.get();
+    for (mem::EntryId entry : owner->map().entries_with_replica_on(dead)) {
+      auto loc = owner->map().lookup(entry);
+      if (!loc.ok() || loc->tier != mem::Tier::kRemote) continue;
+      std::vector<mem::RemoteReplica> survivors;
+      for (const auto& replica : loc->replicas)
+        if (replica.node != dead &&
+            node_.fabric().node_up(replica.node))
+          survivors.push_back(replica);
+      if (survivors.empty()) {
+        ++data_loss_;
+        ++metrics_.counter("ldms.repair_data_loss");
+        continue;
+      }
+      // Degrade the committed location first so reads stop touching the
+      // dead replica, then top the factor back up asynchronously.
+      mem::EntryLocation degraded = *loc;
+      degraded.replicas = survivors;
+      owner->map().commit(entry, degraded);
+
+      std::vector<net::NodeId> exclude;
+      for (const auto& replica : survivors) exclude.push_back(replica.node);
+      exclude.push_back(dead);
+      auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
+      const auto server_id = server;
+      rdmc_.read(
+          survivors, 0, *bytes,
+          [this, server_id, entry, bytes, survivors,
+           exclude = std::move(exclude), base = degraded](
+              const Status& s) mutable {
+            if (!s.ok()) {
+              ++metrics_.counter("ldms.repair_read_failed");
+              return;
+            }
+            rdmc_.put(
+                server_id, entry, *bytes,
+                [this, server_id, entry, bytes, survivors,
+                 base = std::move(base)](
+                    StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+                  if (!fresh.ok()) {
+                    ++metrics_.counter("ldms.repair_put_failed");
+                    return;
+                  }
+                  Ldmc* owner = client(server_id);
+                  if (owner == nullptr) return;
+                  // Re-check: the entry may have moved since the repair
+                  // started (e.g. removed by the application).
+                  auto current = owner->map().lookup(entry);
+                  if (!current.ok() ||
+                      current->tier != mem::Tier::kRemote) {
+                    rdmc_.free_replicas(*std::move(fresh));
+                    return;
+                  }
+                  mem::EntryLocation loc = std::move(base);
+                  loc.replicas = survivors;
+                  for (auto& replica : *fresh)
+                    loc.replicas.push_back(replica);
+                  owner->map().commit(entry, std::move(loc));
+                  ++metrics_.counter("ldms.repaired_entries");
+                },
+                exclude, /*count=*/1);
+          });
+    }
+  }
+}
+
+// ---- leader candidate sets (§IV.E) -------------------------------------------
+
+std::vector<cluster::CandidateNode> NodeService::local_candidate_view(
+    bool include_self) const {
+  std::vector<cluster::CandidateNode> out;
+  if (include_self)
+    out.push_back({node_.id(), node_.donatable_free_bytes()});
+  for (net::NodeId peer : node_.membership().peers()) {
+    if (!node_.membership().alive(peer)) continue;
+    out.push_back({peer, node_.membership().last_known_free(peer)});
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::byte>> NodeService::handle_query_candidates(
+    net::NodeId, net::WireReader&) {
+  // Answered by whoever is asked — in practice the group leader, whose
+  // heartbeat view aggregates the whole group.
+  auto view = local_candidate_view(/*include_self=*/true);
+  net::WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(view.size()));
+  for (const auto& candidate : view) {
+    w.put_u32(candidate.node);
+    w.put_u64(candidate.free_bytes);
+  }
+  ++metrics_.counter("candidates.queries_served");
+  return std::move(w).take();
+}
+
+void NodeService::start_candidate_refresh() {
+  if (!config_.leader_candidates || candidate_refresh_running_) return;
+  candidate_refresh_running_ = true;
+  refresh_candidates();
+}
+
+void NodeService::refresh_candidates() {
+  if (!candidate_refresh_running_) return;
+  const net::NodeId leader =
+      node_.election() != nullptr ? node_.election()->leader()
+                                  : net::kInvalidNode;
+  auto reschedule = [this]() {
+    node_.simulator().schedule_after(config_.candidate_refresh_period,
+                                     [this]() { refresh_candidates(); });
+  };
+  if (leader == net::kInvalidNode || leader == node_.id()) {
+    // We are (or have no) leader: use the local aggregate directly.
+    candidate_cache_ = local_candidate_view(/*include_self=*/true);
+    ++metrics_.counter("candidates.local_refreshes");
+    reschedule();
+    return;
+  }
+  node_.rpc().call(
+      leader, kRpcQueryCandidates, {}, 50 * kMilli,
+      [this, reschedule](StatusOr<std::vector<std::byte>> resp) {
+        if (resp.ok()) {
+          net::WireReader r(*resp);
+          const std::uint32_t n = r.u32();
+          std::vector<cluster::CandidateNode> fresh;
+          for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+            const auto node = static_cast<net::NodeId>(r.u32());
+            const std::uint64_t free_bytes = r.u64();
+            fresh.push_back({node, free_bytes});
+          }
+          if (r.ok()) {
+            candidate_cache_ = std::move(fresh);
+            ++metrics_.counter("candidates.leader_refreshes");
+          }
+        } else {
+          // Leader unreachable: fall back to the local view until the next
+          // round (the election will move the leader shortly anyway).
+          candidate_cache_.clear();
+          ++metrics_.counter("candidates.refresh_failed");
+        }
+        reschedule();
+      });
+}
+
+// ---- eviction monitor (§IV.F policies 1 & 2) --------------------------------
+
+void NodeService::start_eviction_monitor() {
+  if (monitor_running_ || !config_.eviction.enabled) return;
+  monitor_running_ = true;
+  node_.simulator().schedule_after(config_.eviction.period, [this]() {
+    monitor_running_ = false;
+    eviction_tick();
+    start_eviction_monitor();
+  });
+}
+
+void NodeService::eviction_tick() {
+  const auto& cfg = config_.eviction;
+  auto& pool = node_.recv_pool();
+
+  // Policy 1: local servers are overflowing to remote memory while this
+  // node still donates DRAM to peers -> reclaim a receive-pool slab.
+  const double free_fraction =
+      pool.capacity_bytes() == 0
+          ? 1.0
+          : static_cast<double>(node_.donatable_free_bytes()) /
+                static_cast<double>(pool.capacity_bytes());
+  if (remote_puts_window_ >= cfg.remote_rate_threshold &&
+      free_fraction < cfg.low_free_watermark && rdms_.active_drains() == 0) {
+    if (auto slab = pool.least_loaded_slab()) {
+      ++metrics_.counter("eviction.slab_drains");
+      rdms_.drain_slab(*slab, [this](const Status& s) {
+        if (!s.ok()) ++metrics_.counter("eviction.drain_failed");
+      });
+    }
+  }
+
+  // Policy 2: a server hammering disaggregated memory should get more
+  // resident DRAM (ballooning) by shrinking its donation.
+  for (const auto& [server, requests] : dm_requests_window_) {
+    if (requests < cfg.remote_rate_threshold) continue;
+    ++metrics_.counter("eviction.balloon_advice");
+    if (cfg.auto_balloon) {
+      if (auto* vs = node_.find_server(server)) {
+        const double next =
+            std::max(0.0, vs->donation_fraction() - cfg.balloon_step);
+        if (node_.set_server_donation(server, next).ok())
+          ++metrics_.counter("eviction.balloon_applied");
+      }
+    }
+  }
+
+  dm_requests_window_.clear();
+  remote_puts_window_ = 0;
+}
+
+// ---- disk extents -----------------------------------------------------------
+
+std::uint32_t NodeService::disk_class(std::uint32_t size) noexcept {
+  std::uint32_t cls = 512;
+  while (cls < size) cls <<= 1;
+  return cls;
+}
+
+StatusOr<std::uint64_t> NodeService::alloc_extent(DiskExtents& extents,
+                                                  std::uint64_t capacity,
+                                                  std::uint32_t size) {
+  const std::uint32_t cls = disk_class(size);
+  auto& free_list = extents.free_by_class[cls];
+  if (!free_list.empty()) {
+    const std::uint64_t offset = free_list.back();
+    free_list.pop_back();
+    return offset;
+  }
+  if (extents.cursor + cls > capacity)
+    return ResourceExhaustedError("device full");
+  const std::uint64_t offset = extents.cursor;
+  extents.cursor += cls;
+  return offset;
+}
+
+StatusOr<std::uint64_t> NodeService::alloc_disk(std::uint32_t size) {
+  return alloc_extent(disk_extents_, node_.disk().capacity(), size);
+}
+
+void NodeService::free_disk(std::uint64_t offset, std::uint32_t size) {
+  disk_extents_.free_by_class[disk_class(size)].push_back(offset);
+}
+
+StatusOr<std::uint64_t> NodeService::alloc_nvm(std::uint32_t size) {
+  if (node_.nvm() == nullptr)
+    return FailedPreconditionError("no NVM tier on this node");
+  return alloc_extent(nvm_extents_, node_.nvm()->capacity(), size);
+}
+
+void NodeService::free_nvm(std::uint64_t offset, std::uint32_t size) {
+  nvm_extents_.free_by_class[disk_class(size)].push_back(offset);
+}
+
+}  // namespace dm::core

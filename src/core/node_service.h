@@ -1,0 +1,178 @@
+// Node-side disaggregated memory orchestration (paper Fig. 1).
+//
+// NodeService combines the roles the paper draws as separate boxes on each
+// node — the Local Disaggregated Memory Server (LDMS), the node manager,
+// and ownership of the RDMC/RDMS pair — because they share one state
+// machine. Responsibilities:
+//
+//  * the put path: try the node-coordinated shared memory pool first (DRAM
+//    speed), spill the pool's LRU entries to remote memory under pressure,
+//    route overflow to remote memory via the RDMC, and fall back to the
+//    local swap disk when the cluster has no room (§IV.B);
+//  * the get path: serve from whichever tier the entry's committed map
+//    location names, with replica failover;
+//  * eviction notices from remote RDMSes draining a slab (§IV.F): migrate
+//    the named entries to new hosts, then free the old blocks;
+//  * failure repair (§IV.D): when membership declares a node dead, restore
+//    the replication factor of every local entry that had a replica there;
+//  * the eviction monitor (§IV.F policies 1 and 2): watermark-triggered
+//    preemptive slab deregistration and ballooning advice for servers that
+//    hit disaggregated memory too often.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/node.h"
+#include "core/rdmc.h"
+#include "core/rdms.h"
+#include "mem/memory_map.h"
+
+namespace dm::core {
+
+class Ldmc;
+
+// Per-virtual-server policy knobs for the LDMC (see ldmc.h for semantics).
+// Lives here so NodeService::create_client can accept it while ldmc.h
+// depends on this header.
+struct LdmcOptions {
+  double shm_fraction = 1.0;
+  bool allow_remote = true;
+  bool allow_disk = true;
+  std::size_t map_shards = 16;
+  bool verify_checksums = false;  // verify full-entry gets against the map
+};
+
+class NodeService {
+ public:
+  struct EvictionConfig {
+    bool enabled = false;
+    SimTime period = 500 * kMilli;
+    // Policy 1: drain a receive-pool slab when the pool's free fraction
+    // drops below this while local servers are going remote.
+    double low_free_watermark = 0.15;
+    std::uint64_t remote_rate_threshold = 32;  // puts/period to count as hot
+    // Policy 2: shrink a hot server's donation by this much per period,
+    // giving it back resident DRAM (ballooning).
+    bool auto_balloon = false;
+    double balloon_step = 0.05;
+  };
+
+  struct Config {
+    Rdmc::Config rdmc{};
+    EvictionConfig eviction{};
+    // Migrate shared-pool LRU entries to remote memory when the pool is
+    // full, instead of sending the incoming entry remote directly.
+    bool spill_shm_lru = true;
+    std::size_t max_spill_per_put = 4;
+    // §IV.E: consult the group leader for the placement candidate set
+    // (refreshed periodically) instead of each node's own heartbeat view.
+    // The leader aggregates the group, so placement decisions across nodes
+    // draw from one consistent picture.
+    bool leader_candidates = false;
+    SimTime candidate_refresh_period = 500 * kMilli;
+  };
+
+  using PutCallback = std::function<void(StatusOr<mem::EntryLocation>)>;
+  using DoneCallback = std::function<void(const Status&)>;
+
+  NodeService(cluster::Node& node, Config config);
+  ~NodeService();
+
+  NodeService(const NodeService&) = delete;
+  NodeService& operator=(const NodeService&) = delete;
+
+  cluster::Node& node() noexcept { return node_; }
+  Rdmc& rdmc() noexcept { return rdmc_; }
+  Rdms& rdms() noexcept { return rdms_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  // --- client registry -------------------------------------------------------
+  Ldmc& create_client(cluster::ServerId server, LdmcOptions options = {});
+  Ldmc* client(cluster::ServerId server);
+
+  // --- LDMS data path (called by Ldmc) ---------------------------------------
+  // prefer_shm picks the first tier to try; the fallback chain is
+  // shm -> remote -> disk, gated by the allow_* flags.
+  void put_entry(cluster::ServerId server, mem::EntryId entry,
+                 std::span<const std::byte> data, bool prefer_shm,
+                 bool allow_remote, bool allow_disk, PutCallback done);
+  void get_entry(cluster::ServerId server, mem::EntryId entry,
+                 const mem::EntryLocation& location, std::uint64_t offset,
+                 std::span<std::byte> out, DoneCallback done);
+  void remove_entry(cluster::ServerId server, mem::EntryId entry,
+                    const mem::EntryLocation& location, DoneCallback done);
+
+  // --- maintenance -----------------------------------------------------------
+  // Starts the periodic eviction/ballooning monitor (§IV.F).
+  void start_eviction_monitor();
+  // Starts the periodic leader candidate-set refresh (no-op unless
+  // Config::leader_candidates is set).
+  void start_candidate_refresh();
+  // One monitor evaluation (exposed for deterministic tests).
+  void eviction_tick();
+
+  std::uint64_t data_loss_entries() const noexcept { return data_loss_; }
+
+ private:
+  struct DiskExtents {
+    std::uint64_t cursor = 0;
+    std::map<std::uint32_t, std::vector<std::uint64_t>> free_by_class;
+  };
+
+  StatusOr<std::uint64_t> alloc_extent(DiskExtents& extents,
+                                       std::uint64_t capacity,
+                                       std::uint32_t size);
+
+  void put_remote(cluster::ServerId server, mem::EntryId entry,
+                  std::span<const std::byte> data, bool allow_disk,
+                  PutCallback done);
+  // Device tiers: NVM when present (and then disk on failure), else disk.
+  void put_device(cluster::ServerId server, mem::EntryId entry,
+                  std::span<const std::byte> data, PutCallback done);
+  void put_disk(cluster::ServerId server, mem::EntryId entry,
+                std::span<const std::byte> data, PutCallback done);
+  void put_nvm(cluster::ServerId server, mem::EntryId entry,
+               std::span<const std::byte> data, PutCallback done);
+  // Frees one LRU shared-pool entry by pushing it to remote memory; the
+  // callback reports whether space was reclaimed.
+  void spill_one(std::function<void(bool)> done);
+
+  StatusOr<std::vector<std::byte>> handle_evict_notice(net::NodeId from,
+                                                       net::WireReader& req);
+  StatusOr<std::vector<std::byte>> handle_query_candidates(
+      net::NodeId from, net::WireReader& req);
+  std::vector<cluster::CandidateNode> local_candidate_view(
+      bool include_self) const;
+  void refresh_candidates();
+  void migrate_entry(cluster::ServerId server, mem::EntryId entry,
+                     net::NodeId away_from);
+  void repair_after_node_down(net::NodeId dead);
+
+  StatusOr<std::uint64_t> alloc_disk(std::uint32_t size);
+  void free_disk(std::uint64_t offset, std::uint32_t size);
+  StatusOr<std::uint64_t> alloc_nvm(std::uint32_t size);
+  void free_nvm(std::uint64_t offset, std::uint32_t size);
+  static std::uint32_t disk_class(std::uint32_t size) noexcept;
+
+  cluster::Node& node_;
+  Config config_;
+  Rdms rdms_;
+  Rdmc rdmc_;
+  MetricsRegistry metrics_;
+  std::unordered_map<cluster::ServerId, std::unique_ptr<Ldmc>> clients_;
+  DiskExtents disk_extents_;
+  DiskExtents nvm_extents_;
+  // Per-server disaggregated-memory request counts within the current
+  // monitor window (feeds §IV.F policy 2).
+  std::unordered_map<cluster::ServerId, std::uint64_t> dm_requests_window_;
+  std::uint64_t remote_puts_window_ = 0;
+  std::uint64_t data_loss_ = 0;
+  bool monitor_running_ = false;
+  std::vector<cluster::CandidateNode> candidate_cache_;
+  bool candidate_refresh_running_ = false;
+};
+
+}  // namespace dm::core

@@ -1,0 +1,212 @@
+#include "core/rdmc.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+
+namespace dm::core {
+
+using cluster::kRpcAllocBlock;
+using cluster::kRpcFreeBlock;
+
+Rdmc::Rdmc(cluster::Node& node, Config config)
+    : node_(node), config_(config),
+      policy_(cluster::make_placement_policy(config.placement)) {}
+
+void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
+               std::span<const std::byte> data, PutCallback done,
+               std::span<const net::NodeId> exclude, std::size_t count) {
+  if (!candidates_) {
+    done(FailedPreconditionError("no candidates provider bound"));
+    return;
+  }
+  if (count == 0) count = config_.replication;
+  auto candidates = candidates_();
+  // Remove self and excluded nodes.
+  std::erase_if(candidates, [&](const cluster::CandidateNode& c) {
+    if (c.node == node_.id()) return true;
+    return std::find(exclude.begin(), exclude.end(), c.node) != exclude.end();
+  });
+  auto targets = policy_->pick(candidates, count, data.size(), node_.rng());
+  if (!targets.ok()) {
+    ++node_.recv_pool().metrics().counter("rdmc.put_no_candidates");
+    done(targets.status());
+    return;
+  }
+
+  // Shared transaction state across the async alloc + write fan-out.
+  struct PutTx {
+    std::vector<std::byte> payload;
+    std::vector<mem::RemoteReplica> replicas;
+    std::size_t pending = 0;
+    bool failed = false;
+    Status first_error;
+    PutCallback done;
+  };
+  auto tx = std::make_shared<PutTx>();
+  tx->payload.assign(data.begin(), data.end());
+  tx->pending = targets->size();
+  tx->done = std::move(done);
+
+  auto finish_allocs = [this, tx]() {
+    if (tx->failed) {
+      // Roll back whatever was reserved; the caller's map is untouched.
+      free_replicas(std::move(tx->replicas));
+      tx->done(tx->first_error);
+      return;
+    }
+    // Phase 2: one-sided writes to every reserved block.
+    tx->pending = tx->replicas.size();
+    for (const auto& replica : tx->replicas) {
+      auto qp = node_.connections().ensure_data_channel(node_.id(),
+                                                        replica.node);
+      Status posted = !qp.ok() ? qp.status()
+                               : (*qp)->post_write(
+                                     replica.rkey, replica.offset,
+                                     tx->payload,
+                                     [this, tx](const net::Completion& c) {
+                                       if (!c.status.ok() && !tx->failed) {
+                                         tx->failed = true;
+                                         tx->first_error = c.status;
+                                       }
+                                       if (--tx->pending == 0) {
+                                         if (tx->failed) {
+                                           free_replicas(
+                                               std::move(tx->replicas));
+                                           tx->done(tx->first_error);
+                                         } else {
+                                           tx->done(std::move(tx->replicas));
+                                         }
+                                       }
+                                     });
+      if (!posted.ok()) {
+        if (!tx->failed) {
+          tx->failed = true;
+          tx->first_error = posted;
+        }
+        if (--tx->pending == 0) {
+          free_replicas(std::move(tx->replicas));
+          tx->done(tx->first_error);
+        }
+      }
+    }
+  };
+
+  // Phase 1: reserve a block on each target.
+  for (net::NodeId target : *targets) {
+    Status channel = node_.connections().ensure_control_channel(node_.id(),
+                                                                target);
+    if (!channel.ok()) {
+      if (!tx->failed) {
+        tx->failed = true;
+        tx->first_error = channel;
+      }
+      if (--tx->pending == 0) finish_allocs();
+      continue;
+    }
+    net::WireWriter w;
+    w.put_u32(node_.id());
+    w.put_u32(server);
+    w.put_u64(entry);
+    w.put_u32(static_cast<std::uint32_t>(tx->payload.size()));
+    node_.rpc().call(
+        target, kRpcAllocBlock, std::move(w).take(), config_.rpc_timeout,
+        [tx, target, finish_allocs](StatusOr<std::vector<std::byte>> resp) {
+          if (resp.ok()) {
+            net::WireReader r(*resp);
+            mem::RemoteReplica replica;
+            replica.node = target;
+            replica.slab = r.u32();
+            replica.rkey = r.u64();
+            replica.offset = r.u64();
+            replica.block_size = r.u32();
+            if (r.ok()) {
+              tx->replicas.push_back(replica);
+            } else if (!tx->failed) {
+              tx->failed = true;
+              tx->first_error = r.status();
+            }
+          } else if (!tx->failed) {
+            tx->failed = true;
+            tx->first_error = resp.status();
+          }
+          if (--tx->pending == 0) finish_allocs();
+        });
+  }
+  ++node_.recv_pool().metrics().counter("rdmc.puts");
+}
+
+void Rdmc::read(const std::vector<mem::RemoteReplica>& replicas,
+                std::uint64_t range_offset, std::span<std::byte> out,
+                ReadCallback done) {
+  if (replicas.empty()) {
+    done(DataLossError("entry has no remote replicas"));
+    return;
+  }
+  auto ordered = std::make_shared<std::vector<mem::RemoteReplica>>(replicas);
+  read_from(std::move(ordered), 0, range_offset, out, std::move(done));
+}
+
+void Rdmc::read_from(
+    std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
+    std::size_t index, std::uint64_t range_offset, std::span<std::byte> out,
+    ReadCallback done) {
+  if (index >= replicas->size()) {
+    ++node_.recv_pool().metrics().counter("rdmc.read_all_replicas_failed");
+    done(DataLossError("all replicas unreachable"));
+    return;
+  }
+  const auto& replica = (*replicas)[index];
+  auto qp = node_.connections().ensure_data_channel(node_.id(), replica.node);
+  if (!qp.ok()) {
+    read_from(std::move(replicas), index + 1, range_offset, out,
+              std::move(done));
+    return;
+  }
+  Status posted = (*qp)->post_read(
+      replica.rkey, replica.offset + range_offset, out,
+      [this, replicas, index, range_offset, out,
+       done = std::move(done)](const net::Completion& c) mutable {
+        if (c.status.ok()) {
+          done(Status::Ok());
+          return;
+        }
+        ++node_.recv_pool().metrics().counter("rdmc.read_failovers");
+        read_from(std::move(replicas), index + 1, range_offset, out,
+                  std::move(done));
+      });
+  if (!posted.ok())
+    read_from(std::move(replicas), index + 1, range_offset, out,
+              std::move(done));
+}
+
+void Rdmc::free_replicas(std::vector<mem::RemoteReplica> replicas,
+                         DoneCallback done) {
+  if (replicas.empty()) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  struct FreeState {
+    std::size_t pending;
+    Status first_error;
+    DoneCallback done;
+  };
+  auto state = std::make_shared<FreeState>();
+  state->pending = replicas.size();
+  state->done = std::move(done);
+  for (const auto& replica : replicas) {
+    net::WireWriter w;
+    w.put_u64(replica.rkey);
+    w.put_u64(replica.offset);
+    node_.rpc().call(replica.node, kRpcFreeBlock, std::move(w).take(),
+                     config_.rpc_timeout,
+                     [state](StatusOr<std::vector<std::byte>> resp) {
+                       if (!resp.ok() && state->first_error.ok())
+                         state->first_error = resp.status();
+                       if (--state->pending == 0 && state->done)
+                         state->done(state->first_error);
+                     });
+  }
+}
+
+}  // namespace dm::core

@@ -1,0 +1,84 @@
+// Remote Disaggregated Memory Client (paper Fig. 1–2, §IV.B, §IV.D–E).
+//
+// The RDMC is the per-node service through which local data leaves for
+// remote memory. A replicated put is the §IV.D atomic transaction:
+//
+//   1. pick `replication` distinct target nodes via the configured
+//      placement policy (§IV.E) over the current candidate set,
+//   2. reserve a block on each target (control-plane RPC to its RDMS),
+//   3. one-sided RDMA WRITE the payload into every reserved block,
+//   4. succeed only if *all* replicas acked — otherwise free whatever was
+//      reserved and report failure, leaving the caller's memory map
+//      untouched (all-or-nothing).
+//
+// Reads are one-sided RDMA READs that fail over across replicas, so a dead
+// replica host costs one detection timeout, not data loss.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/placement.h"
+#include "cluster/protocol.h"
+#include "mem/memory_map.h"
+
+namespace dm::core {
+
+class Rdmc {
+ public:
+  struct Config {
+    std::size_t replication = 3;
+    cluster::PlacementPolicyKind placement =
+        cluster::PlacementPolicyKind::kPowerOfTwoChoices;
+    SimTime rpc_timeout = 5 * kMilli;
+  };
+
+  using PutCallback =
+      std::function<void(StatusOr<std::vector<mem::RemoteReplica>>)>;
+  using ReadCallback = std::function<void(const Status&)>;
+  using DoneCallback = std::function<void(const Status&)>;
+
+  Rdmc(cluster::Node& node, Config config);
+
+  // Candidate remote hosts (typically: alive group members, excluding this
+  // node, with their advertised free bytes). Bound by NodeService.
+  void set_candidates_provider(
+      std::function<std::vector<cluster::CandidateNode>()> provider) {
+    candidates_ = std::move(provider);
+  }
+
+  const Config& config() const noexcept { return config_; }
+
+  // Replicated put; `exclude` removes nodes from candidacy (used when
+  // migrating an entry *away* from a node). `count` overrides the number of
+  // replicas written (0 = the configured replication factor) — repair paths
+  // top up a degraded entry with exactly one fresh replica.
+  void put(cluster::ServerId server, mem::EntryId entry,
+           std::span<const std::byte> data, PutCallback done,
+           std::span<const net::NodeId> exclude = {}, std::size_t count = 0);
+
+  // Reads out.size() bytes at `range_offset` within the entry, failing over
+  // across replicas in order.
+  void read(const std::vector<mem::RemoteReplica>& replicas,
+            std::uint64_t range_offset, std::span<std::byte> out,
+            ReadCallback done);
+
+  // Frees all replica blocks (best effort on dead hosts); done fires after
+  // every free settles.
+  void free_replicas(std::vector<mem::RemoteReplica> replicas,
+                     DoneCallback done = {});
+
+ private:
+  void read_from(std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
+                 std::size_t index, std::uint64_t range_offset,
+                 std::span<std::byte> out, ReadCallback done);
+
+  cluster::Node& node_;
+  Config config_;
+  std::unique_ptr<cluster::PlacementPolicy> policy_;
+  std::function<std::vector<cluster::CandidateNode>()> candidates_;
+};
+
+}  // namespace dm::core

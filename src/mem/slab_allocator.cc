@@ -1,0 +1,124 @@
+#include "mem/slab_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dm::mem {
+
+SlabAllocator::SlabAllocator(std::span<std::byte> arena)
+    : SlabAllocator(arena, Config{}) {}
+
+SlabAllocator::SlabAllocator(std::span<std::byte> arena, Config config)
+    : arena_(arena), config_(std::move(config)) {
+  assert(!config_.size_classes.empty());
+  std::sort(config_.size_classes.begin(), config_.size_classes.end());
+  assert(config_.size_classes.back() <= config_.slab_bytes);
+  slab_count_ = arena_.size() / config_.slab_bytes;
+  slabs_.resize(slab_count_);
+  free_slabs_.reserve(slab_count_);
+  // LIFO free list: reuse warm slabs first.
+  for (std::size_t i = slab_count_; i-- > 0;) free_slabs_.push_back(i);
+  partial_slabs_.resize(config_.size_classes.size());
+}
+
+std::size_t SlabAllocator::class_for(std::size_t size) const {
+  for (std::size_t i = 0; i < config_.size_classes.size(); ++i) {
+    if (size <= config_.size_classes[i]) return i;
+  }
+  return config_.size_classes.size();  // too large
+}
+
+StatusOr<std::uint64_t> SlabAllocator::allocate(std::size_t size) {
+  const std::size_t cls = class_for(size);
+  if (cls >= config_.size_classes.size())
+    return InvalidArgumentError("size exceeds largest size class");
+  const std::size_t block_bytes = config_.size_classes[cls];
+
+  auto& partials = partial_slabs_[cls];
+  std::size_t slab_index;
+  if (!partials.empty()) {
+    slab_index = partials.back();
+  } else {
+    if (free_slabs_.empty())
+      return ResourceExhaustedError("arena out of slabs");
+    slab_index = free_slabs_.back();
+    free_slabs_.pop_back();
+    Slab& slab = slabs_[slab_index];
+    slab.size_class = static_cast<int>(cls);
+    slab.live = 0;
+    const auto blocks_per_slab =
+        static_cast<std::uint32_t>(config_.slab_bytes / block_bytes);
+    slab.free_blocks.clear();
+    for (std::uint32_t b = blocks_per_slab; b-- > 0;)
+      slab.free_blocks.push_back(b);
+    partials.push_back(slab_index);
+  }
+
+  Slab& slab = slabs_[slab_index];
+  const std::uint32_t block = slab.free_blocks.back();
+  slab.free_blocks.pop_back();
+  ++slab.live;
+  if (slab.free_blocks.empty()) {
+    // Slab is now full: remove from the partial list.
+    partials.erase(std::find(partials.begin(), partials.end(), slab_index));
+  }
+  const std::uint64_t offset =
+      static_cast<std::uint64_t>(slab_index) * config_.slab_bytes +
+      static_cast<std::uint64_t>(block) * block_bytes;
+  used_bytes_ += block_bytes;
+  ++live_blocks_;
+  live_offsets_.insert(offset);
+  return offset;
+}
+
+Status SlabAllocator::free(std::uint64_t offset) {
+  auto it = live_offsets_.find(offset);
+  if (it == live_offsets_.end())
+    return InvalidArgumentError("free of unallocated offset");
+  live_offsets_.erase(it);
+
+  const std::size_t slab_index = slab_of(offset);
+  Slab& slab = slabs_[slab_index];
+  assert(slab.size_class >= 0);
+  const std::size_t block_bytes =
+      config_.size_classes[static_cast<std::size_t>(slab.size_class)];
+  const auto block = static_cast<std::uint32_t>(
+      (offset % config_.slab_bytes) / block_bytes);
+
+  const bool was_full = slab.free_blocks.empty();
+  slab.free_blocks.push_back(block);
+  --slab.live;
+  used_bytes_ -= block_bytes;
+  --live_blocks_;
+
+  auto& partials = partial_slabs_[static_cast<std::size_t>(slab.size_class)];
+  if (slab.live == 0) {
+    // Whole slab free: unbind it so any class can reuse it.
+    if (!was_full)
+      partials.erase(std::find(partials.begin(), partials.end(), slab_index));
+    slab.size_class = -1;
+    slab.free_blocks.clear();
+    free_slabs_.push_back(slab_index);
+  } else if (was_full) {
+    partials.push_back(slab_index);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::size_t> SlabAllocator::block_size(std::uint64_t offset) const {
+  if (live_offsets_.count(offset) == 0)
+    return InvalidArgumentError("offset not allocated");
+  const Slab& slab = slabs_[slab_of(offset)];
+  return config_.size_classes[static_cast<std::size_t>(slab.size_class)];
+}
+
+std::uint64_t SlabAllocator::slack_bytes() const noexcept {
+  std::uint64_t bound = 0;
+  for (const Slab& slab : slabs_) {
+    if (slab.size_class >= 0)
+      bound += config_.slab_bytes;
+  }
+  return bound - used_bytes_;
+}
+
+}  // namespace dm::mem

@@ -1,0 +1,80 @@
+// Size-class slab allocator over a caller-provided arena.
+//
+// The disaggregated memory pools hand out blocks in the compression bucket
+// sizes (512 B .. 4 KiB) plus whole-page blocks. A classic slab design keeps
+// allocation O(1) and fragmentation bounded: the arena is carved into
+// fixed-size slabs; each slab binds to one size class while it has live
+// blocks and returns to the free-slab list when it empties.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dm::mem {
+
+class SlabAllocator {
+ public:
+  struct Config {
+    // Compression buckets plus power-of-two batch sizes up to one slab.
+    std::vector<std::size_t> size_classes{512,  1024,  2048,  4096,
+                                          8192, 16384, 32768, 65536};
+    std::size_t slab_bytes = 64 * 1024;
+  };
+
+  // `arena` must outlive the allocator. Its size is rounded down to a whole
+  // number of slabs.
+  explicit SlabAllocator(std::span<std::byte> arena);
+  SlabAllocator(std::span<std::byte> arena, Config config);
+
+  // Allocates a block of the smallest size class >= `size`.
+  // Returns the arena offset of the block.
+  StatusOr<std::uint64_t> allocate(std::size_t size);
+
+  // Frees a block previously returned by allocate().
+  Status free(std::uint64_t offset);
+
+  // The usable bytes of the block at `offset` (its size class).
+  StatusOr<std::size_t> block_size(std::uint64_t offset) const;
+
+  std::span<std::byte> block_span(std::uint64_t offset, std::size_t size) {
+    return arena_.subspan(offset, size);
+  }
+
+  std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  std::uint64_t capacity_bytes() const noexcept {
+    return static_cast<std::uint64_t>(slab_count_) * config_.slab_bytes;
+  }
+  std::size_t live_blocks() const noexcept { return live_blocks_; }
+  // Bytes held by partially-used slabs beyond their live blocks (internal
+  // fragmentation at slab granularity).
+  std::uint64_t slack_bytes() const noexcept;
+
+ private:
+  struct Slab {
+    int size_class = -1;  // -1: unbound (free slab)
+    std::uint32_t live = 0;
+    std::vector<std::uint32_t> free_blocks;  // block indices within the slab
+  };
+
+  std::size_t class_for(std::size_t size) const;
+  std::size_t slab_of(std::uint64_t offset) const {
+    return offset / config_.slab_bytes;
+  }
+
+  std::span<std::byte> arena_;
+  Config config_;
+  std::size_t slab_count_;
+  std::vector<Slab> slabs_;
+  std::vector<std::size_t> free_slabs_;
+  // Per size class: slabs with at least one free block.
+  std::vector<std::vector<std::size_t>> partial_slabs_;
+  std::unordered_set<std::uint64_t> live_offsets_;
+  std::uint64_t used_bytes_ = 0;
+  std::size_t live_blocks_ = 0;
+};
+
+}  // namespace dm::mem

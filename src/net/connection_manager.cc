@@ -1,0 +1,70 @@
+#include "net/connection_manager.h"
+
+namespace dm::net {
+
+void ConnectionManager::register_endpoint(RpcEndpoint* endpoint) {
+  endpoints_[endpoint->self()] = endpoint;
+}
+
+Status ConnectionManager::establish(NodeId a, NodeId b, ChannelPair& out) {
+  auto ep_a = endpoints_.find(a);
+  auto ep_b = endpoints_.find(b);
+  if (ep_a == endpoints_.end() || ep_b == endpoints_.end())
+    return FailedPreconditionError("peer endpoint not registered");
+
+  auto data = fabric_.connect(a, b);
+  if (!data.ok()) return data.status();
+  auto control = fabric_.connect(a, b);
+  if (!control.ok()) {
+    fabric_.destroy_connection(*data);
+    return control.status();
+  }
+  out.data_a = *data;
+  out.control_a = *control;
+  ep_a->second->attach_channel(out.control_a);
+  ep_b->second->attach_channel(fabric_.peer_of(out.control_a));
+  return Status::Ok();
+}
+
+StatusOr<QueuePair*> ConnectionManager::ensure_data_channel(NodeId a,
+                                                            NodeId b) {
+  const PairKey key{a, b};
+  auto it = channels_.find(key);
+  if (it != channels_.end()) {
+    if (!it->second.data_a->in_error() && !it->second.control_a->in_error())
+      return it->second.data_a;
+    // Repair: tear down the broken pair, fall through to re-establish.
+    if (auto* ep = endpoints_[a]) ep->detach_channel(b);
+    if (auto* ep = endpoints_[b]) ep->detach_channel(a);
+    fabric_.destroy_connection(it->second.data_a);
+    fabric_.destroy_connection(it->second.control_a);
+    channels_.erase(it);
+  }
+  ChannelPair pair;
+  DM_RETURN_IF_ERROR(establish(a, b, pair));
+  channels_.emplace(key, pair);
+  return pair.data_a;
+}
+
+Status ConnectionManager::ensure_control_channel(NodeId a, NodeId b) {
+  return ensure_data_channel(a, b).status();
+}
+
+void ConnectionManager::drop_node(NodeId node) {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    const auto [a, b] = it->first;
+    if (a == node || b == node) {
+      if (auto ep = endpoints_.find(a); ep != endpoints_.end())
+        ep->second->detach_channel(b);
+      if (auto ep = endpoints_.find(b); ep != endpoints_.end())
+        ep->second->detach_channel(a);
+      fabric_.destroy_connection(it->second.data_a);
+      fabric_.destroy_connection(it->second.control_a);
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dm::net

@@ -1,0 +1,62 @@
+// Connection establishment and repair for the disaggregated memory system.
+//
+// Per the paper (§IV.G), every node pair that exchanges disaggregated-memory
+// traffic maintains two channels: an RDMA data channel (one-sided READ/WRITE
+// for the data plane) and a system control channel (two-sided RPC for
+// placement, eviction, membership). The ConnectionManager is the fabric-wide
+// directory that wires both sides — it plays the role of the RDMA CM
+// exchange, collapsed into a deterministic in-simulator handshake.
+//
+// Channels are created lazily and repaired lazily: a QP that entered the
+// error state (node/link failure) is torn down and re-established on the
+// next ensure_*() call, provided the path is healthy again.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+
+namespace dm::net {
+
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(Fabric& fabric) : fabric_(fabric) {}
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  // Every participating node registers its RPC endpoint once at bring-up.
+  void register_endpoint(RpcEndpoint* endpoint);
+
+  // Returns node a's side of the data channel to b, establishing or
+  // repairing the pair (and the control channel) as needed.
+  StatusOr<QueuePair*> ensure_data_channel(NodeId a, NodeId b);
+
+  // Returns whether a usable control channel a->b exists or can be made.
+  Status ensure_control_channel(NodeId a, NodeId b);
+
+  // Tears down all channels touching `node` (on permanent decommission).
+  void drop_node(NodeId node);
+
+  std::size_t established_pairs() const noexcept { return channels_.size(); }
+
+ private:
+  struct ChannelPair {
+    QueuePair* data_a = nullptr;   // a-side endpoints
+    QueuePair* control_a = nullptr;
+  };
+
+  using PairKey = std::pair<NodeId, NodeId>;  // ordered (a, b): a's view
+
+  Status establish(NodeId a, NodeId b, ChannelPair& out);
+
+  Fabric& fabric_;
+  std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
+  std::map<PairKey, ChannelPair> channels_;
+};
+
+}  // namespace dm::net

@@ -1,0 +1,123 @@
+#include "net/rpc.h"
+
+namespace dm::net {
+namespace {
+
+// Message layout: u8 kind (0=request, 1=reply-ok, 2=reply-error),
+// u64 call id, u16 method (request) or u16 status code (error reply),
+// then the payload bytes.
+enum class Kind : std::uint8_t { kRequest = 0, kReplyOk = 1, kReplyError = 2 };
+
+}  // namespace
+
+void RpcEndpoint::attach_channel(QueuePair* qp) {
+  channels_[qp->remote()] = qp;
+  qp->set_receive_handler(
+      [this](NodeId from, std::span<const std::byte> message) {
+        on_message(from, message);
+      });
+}
+
+void RpcEndpoint::detach_channel(NodeId peer) { channels_.erase(peer); }
+
+void RpcEndpoint::call(NodeId peer, RpcMethod method,
+                       std::vector<std::byte> payload, SimTime timeout,
+                       RpcResponseCallback done) {
+  auto it = channels_.find(peer);
+  if ((it == channels_.end() || it->second->in_error()) && repairer_) {
+    (void)repairer_(peer);  // lazily establish / repair the channel
+    it = channels_.find(peer);
+  }
+  if (it == channels_.end() || it->second->in_error()) {
+    // Fail asynchronously so callers see uniform completion ordering.
+    sim_.schedule_after(0, [done = std::move(done)]() {
+      done(UnavailableError("no control channel to peer"));
+    });
+    return;
+  }
+  const std::uint64_t call_id = next_call_++;
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+  pending_.emplace(call_id, pending);
+
+  WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Kind::kRequest));
+  w.put_u64(call_id);
+  w.put_u16(method);
+  w.put_bytes(payload);
+  const auto msg = std::move(w).take();
+
+  Status posted = it->second->post_send(
+      msg, [this, call_id](const Completion& c) {
+        if (!c.status.ok()) settle(call_id, c.status);
+      });
+  if (!posted.ok()) {
+    settle(call_id, posted);
+    return;
+  }
+  sim_.schedule_after(timeout, [this, call_id]() {
+    settle(call_id, TimeoutError("rpc deadline exceeded"));
+  });
+}
+
+void RpcEndpoint::on_message(NodeId from, std::span<const std::byte> message) {
+  WireReader r(message);
+  const auto kind = static_cast<Kind>(r.u8());
+  const std::uint64_t call_id = r.u64();
+  if (!r.ok()) return;  // torn message: drop (sender will time out)
+
+  if (kind == Kind::kRequest) {
+    const RpcMethod method = r.u16();
+    auto payload = r.bytes();
+    if (!r.ok()) return;
+    auto reply_channel = channels_.find(from);
+    if (reply_channel == channels_.end()) return;
+
+    WireWriter w;
+    auto handler = handlers_.find(method);
+    if (handler == handlers_.end()) {
+      w.put_u8(static_cast<std::uint8_t>(Kind::kReplyError));
+      w.put_u64(call_id);
+      w.put_u16(static_cast<std::uint16_t>(StatusCode::kInvalidArgument));
+    } else {
+      WireReader req(payload);
+      auto result = handler->second(from, req);
+      if (result.ok()) {
+        w.put_u8(static_cast<std::uint8_t>(Kind::kReplyOk));
+        w.put_u64(call_id);
+        w.put_bytes(*result);
+      } else {
+        w.put_u8(static_cast<std::uint8_t>(Kind::kReplyError));
+        w.put_u64(call_id);
+        w.put_u16(static_cast<std::uint16_t>(result.status().code()));
+        w.put_string(result.status().message());
+      }
+    }
+    (void)reply_channel->second->post_send(std::move(w).take(), {});
+    return;
+  }
+
+  // Reply path.
+  if (kind == Kind::kReplyOk) {
+    auto payload = r.bytes();
+    if (!r.ok()) return;
+    settle(call_id, std::vector<std::byte>(payload.begin(), payload.end()));
+  } else if (kind == Kind::kReplyError) {
+    const auto code = static_cast<StatusCode>(r.u16());
+    std::string msg = r.remaining() > 0 ? r.string() : std::string{};
+    settle(call_id, Status(code, std::move(msg)));
+  }
+}
+
+void RpcEndpoint::settle(std::uint64_t call_id,
+                         StatusOr<std::vector<std::byte>> result) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  auto pending = it->second;
+  pending_.erase(it);
+  if (pending->settled) return;
+  pending->settled = true;
+  pending->done(std::move(result));
+}
+
+}  // namespace dm::net

@@ -1,0 +1,88 @@
+// Request/response RPC over two-sided RDMA SEND/RECV.
+//
+// The paper's architecture (§IV.G) splits each connection into an RDMA data
+// channel (one-sided verbs, handled directly via QueuePair) and a system
+// control channel (placement, eviction, membership). RpcEndpoint implements
+// the control channel: per-method handlers on the server side, correlated
+// asynchronous calls with timeouts on the client side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "net/wire.h"
+
+namespace dm::net {
+
+using RpcMethod = std::uint16_t;
+
+// Server-side handler: consume the request, produce the response payload.
+// Returning a non-OK status sends an error reply carrying the status code.
+using RpcHandler = std::function<StatusOr<std::vector<std::byte>>(
+    NodeId from, WireReader& request)>;
+
+// Client-side continuation.
+using RpcResponseCallback =
+    std::function<void(StatusOr<std::vector<std::byte>> response)>;
+
+// One RPC endpoint per node. All QPs attached via attach_channel() share the
+// same dispatch table, so a node answers the same protocol to every peer.
+class RpcEndpoint {
+ public:
+  RpcEndpoint(sim::Simulator& simulator, NodeId self)
+      : sim_(simulator), self_(self) {}
+
+  NodeId self() const noexcept { return self_; }
+
+  // Registers the handler for a method id (overwrites any previous one).
+  void handle(RpcMethod method, RpcHandler handler) {
+    handlers_[method] = std::move(handler);
+  }
+
+  // Invoked when a call finds no usable channel to a peer; typically bound
+  // to ConnectionManager::ensure_control_channel so channels are created on
+  // first use and repaired after failures. The repairer re-attaches the
+  // channel via attach_channel() on success.
+  void set_channel_repairer(std::function<Status(NodeId peer)> repairer) {
+    repairer_ = std::move(repairer);
+  }
+
+  // Binds this endpoint to its half of a control-channel QP. The endpoint
+  // does not own the QP; the connection manager does.
+  void attach_channel(QueuePair* qp);
+  void detach_channel(NodeId peer);
+  bool has_channel(NodeId peer) const { return channels_.count(peer) > 0; }
+
+  // Issues a call to `peer`. The callback always fires exactly once: with
+  // the response payload, with the server's error status, or with a timeout/
+  // unavailable error.
+  void call(NodeId peer, RpcMethod method, std::vector<std::byte> payload,
+            SimTime timeout, RpcResponseCallback done);
+
+  std::size_t inflight() const noexcept { return pending_.size(); }
+
+ private:
+  struct Pending {
+    RpcResponseCallback done;
+    bool settled = false;
+  };
+
+  void on_message(NodeId from, std::span<const std::byte> message);
+  void settle(std::uint64_t call_id, StatusOr<std::vector<std::byte>> result);
+
+  sim::Simulator& sim_;
+  NodeId self_;
+  std::unordered_map<RpcMethod, RpcHandler> handlers_;
+  std::function<Status(NodeId)> repairer_;
+  std::unordered_map<NodeId, QueuePair*> channels_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::uint64_t next_call_ = 1;
+};
+
+}  // namespace dm::net

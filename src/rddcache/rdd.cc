@@ -1,0 +1,91 @@
+#include "rddcache/rdd.h"
+
+#include <atomic>
+
+namespace dm::rdd {
+
+RddId Rdd::next_id() {
+  static std::atomic<RddId> counter{1};
+  return counter++;
+}
+
+RddPtr Rdd::source(std::string name, std::size_t partitions,
+                   std::size_t records_per_partition,
+                   std::function<Record(std::size_t, std::size_t)> generator) {
+  auto rdd = std::shared_ptr<Rdd>(new Rdd());
+  rdd->id_ = next_id();
+  rdd->name_ = std::move(name);
+  rdd->kind_ = Kind::kSource;
+  rdd->partitions_ = partitions;
+  rdd->records_per_partition_ = records_per_partition;
+  rdd->generator_ = std::move(generator);
+  return rdd;
+}
+
+RddPtr Rdd::materialized(std::string name,
+                         std::vector<std::vector<Record>> partitions) {
+  auto rdd = std::shared_ptr<Rdd>(new Rdd());
+  rdd->id_ = next_id();
+  rdd->name_ = std::move(name);
+  rdd->kind_ = Kind::kSource;
+  rdd->partitions_ = partitions.size();
+  rdd->materialized_ = std::move(partitions);
+  return rdd;
+}
+
+RddPtr Rdd::map(std::string name, std::function<Record(Record)> fn) const {
+  auto rdd = std::shared_ptr<Rdd>(new Rdd());
+  rdd->id_ = next_id();
+  rdd->name_ = std::move(name);
+  rdd->kind_ = Kind::kMap;
+  rdd->partitions_ = partitions_;
+  rdd->parent_ = shared_from_this();
+  rdd->map_fn_ = std::move(fn);
+  return rdd;
+}
+
+RddPtr Rdd::filter(std::string name, std::function<bool(Record)> pred) const {
+  auto rdd = std::shared_ptr<Rdd>(new Rdd());
+  rdd->id_ = next_id();
+  rdd->name_ = std::move(name);
+  rdd->kind_ = Kind::kFilter;
+  rdd->partitions_ = partitions_;
+  rdd->parent_ = shared_from_this();
+  rdd->filter_fn_ = std::move(pred);
+  return rdd;
+}
+
+std::vector<Record> Rdd::compute(std::size_t p,
+                                 std::uint64_t* compute_ops) const {
+  switch (kind_) {
+    case Kind::kSource: {
+      if (!materialized_.empty()) {
+        if (compute_ops != nullptr) *compute_ops += materialized_[p].size();
+        return materialized_[p];
+      }
+      std::vector<Record> out(records_per_partition_);
+      for (std::size_t i = 0; i < records_per_partition_; ++i)
+        out[i] = generator_(p, i);
+      if (compute_ops != nullptr) *compute_ops += records_per_partition_;
+      return out;
+    }
+    case Kind::kMap: {
+      std::vector<Record> out = parent_->compute(p, compute_ops);
+      for (Record& r : out) r = map_fn_(r);
+      if (compute_ops != nullptr) *compute_ops += out.size();
+      return out;
+    }
+    case Kind::kFilter: {
+      std::vector<Record> in = parent_->compute(p, compute_ops);
+      std::vector<Record> out;
+      out.reserve(in.size());
+      for (Record r : in)
+        if (filter_fn_(r)) out.push_back(r);
+      if (compute_ops != nullptr) *compute_ops += in.size();
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace dm::rdd

@@ -1,0 +1,85 @@
+// Mini-Spark RDD abstraction (paper §V.B).
+//
+// An RDD is an immutable, partitioned dataset defined by lineage: either a
+// source (deterministic generator standing in for stable storage) or a
+// narrow transformation (map/filter) of a parent. Computing a partition
+// walks the lineage — exactly the recompute path vanilla Spark takes when a
+// partition misses the cache. Records are int64s; partitions serialize to
+// 8 bytes/record, which is what travels into the executor heap cache, the
+// spill disk, or (with DAHI) the disaggregated memory tiers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dm::rdd {
+
+using Record = std::int64_t;
+using RddId = std::uint32_t;
+
+class Rdd;
+using RddPtr = std::shared_ptr<const Rdd>;
+
+class Rdd : public std::enable_shared_from_this<Rdd> {
+ public:
+  enum class Kind { kSource, kMap, kFilter };
+
+  // Source RDD: `generator(partition, index)` yields record `index` of a
+  // partition holding `records_per_partition` records.
+  static RddPtr source(
+      std::string name, std::size_t partitions,
+      std::size_t records_per_partition,
+      std::function<Record(std::size_t, std::size_t)> generator);
+
+  // Materialized RDD: partitions hold concrete records (the output of a
+  // shuffle stage — see MiniSpark::reduce_by_key).
+  static RddPtr materialized(std::string name,
+                             std::vector<std::vector<Record>> partitions);
+
+  RddPtr map(std::string name, std::function<Record(Record)> fn) const;
+  RddPtr filter(std::string name, std::function<bool(Record)> pred) const;
+
+  // Marks this RDD for caching (Spark's .cache()). Mutable flag by design:
+  // caching is an execution hint, not part of the dataset's identity.
+  const Rdd* cache() const {
+    cached_ = true;
+    return this;
+  }
+  bool is_cached() const noexcept { return cached_; }
+
+  RddId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  Kind kind() const noexcept { return kind_; }
+  std::size_t partitions() const noexcept { return partitions_; }
+  const RddPtr& parent() const noexcept { return parent_; }
+
+  // Materializes partition `p` by walking the lineage (no caching here —
+  // the executor layers caching on top). `compute_ops` returns the number
+  // of per-record transformation steps applied, so the executor can charge
+  // CPU time.
+  std::vector<Record> compute(std::size_t p, std::uint64_t* compute_ops) const;
+
+ private:
+  Rdd() = default;
+
+  static RddId next_id();
+
+  RddId id_ = 0;
+  std::string name_;
+  Kind kind_ = Kind::kSource;
+  std::size_t partitions_ = 0;
+  std::size_t records_per_partition_ = 0;
+  std::vector<std::vector<Record>> materialized_;
+  RddPtr parent_;
+  std::function<Record(std::size_t, std::size_t)> generator_;
+  std::function<Record(Record)> map_fn_;
+  std::function<bool(Record)> filter_fn_;
+  mutable bool cached_ = false;
+};
+
+}  // namespace dm::rdd

@@ -1,0 +1,51 @@
+// Failure scheduling for fault-tolerance tests and benches.
+//
+// The injector does not know about nodes or links; it binds arbitrary fault
+// and repair actions to virtual times, plus a Poisson process helper for
+// random fault storms. Determinism: all randomness comes from the caller's
+// seeded Rng.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace dm::sim {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Simulator& simulator) : sim_(simulator) {}
+
+  // One-shot fault at an absolute time.
+  void at(SimTime when, std::function<void()> action) {
+    sim_.schedule_at(when, std::move(action));
+  }
+
+  // Fault at `when`, repair at `when + outage`.
+  void outage(SimTime when, SimTime duration, std::function<void()> fail,
+              std::function<void()> repair) {
+    sim_.schedule_at(when, std::move(fail));
+    sim_.schedule_at(when + duration, std::move(repair));
+  }
+
+  // Poisson fault process: actions fire with exponential inter-arrival of
+  // the given mean, from `start` until `stop`.
+  void poisson(Rng& rng, SimTime start, SimTime stop, SimTime mean_interval,
+               std::function<void()> action) {
+    SimTime t = start + static_cast<SimTime>(
+                            rng.exponential(static_cast<double>(mean_interval)));
+    while (t < stop) {
+      sim_.schedule_at(t, action);
+      t += static_cast<SimTime>(
+          rng.exponential(static_cast<double>(mean_interval)));
+    }
+  }
+
+ private:
+  Simulator& sim_;
+};
+
+}  // namespace dm::sim

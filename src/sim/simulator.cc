@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace dm::sim {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out so the callback
+  // may schedule further events (including at the same timestamp).
+  Event ev = queue_.top();
+  queue_.pop();
+  // Defensive monotonicity: advance() may have moved the clock past a
+  // queued event; such an event fires "late" rather than rewinding time.
+  if (ev.when > now_) now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::run_until_flag(const bool& flag, SimTime deadline) {
+  while (!flag) {
+    if (deadline >= 0 && now_ > deadline) return false;
+    if (!step()) return false;
+  }
+  return true;
+}
+
+}  // namespace dm::sim

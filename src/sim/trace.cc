@@ -1,0 +1,19 @@
+#include "sim/trace.h"
+
+namespace dm::sim {
+
+std::string Tracer::to_string(std::size_t last_n) const {
+  std::string out;
+  for (const Event& event : recent(last_n)) {
+    out += '[';
+    out += format_duration(event.at);
+    out += "] ";
+    out += event.category;
+    out += ": ";
+    out += event.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dm::sim

@@ -1,0 +1,71 @@
+// Bounded event tracer for debugging simulated runs.
+//
+// Components that accept a Tracer record (virtual time, category, detail)
+// triples into a fixed-capacity ring; when something goes wrong in a long
+// deterministic run, the last few thousand events explain it without
+// re-running under a debugger. Disabled (the default, no tracer attached)
+// it costs one pointer test per event site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dm::sim {
+
+class Tracer {
+ public:
+  struct Event {
+    SimTime at = 0;
+    std::string category;
+    std::string detail;
+  };
+
+  explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(SimTime at, std::string category, std::string detail) {
+    if (capacity_ == 0) return;
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(Event{at, std::move(category), std::move(detail)});
+  }
+
+  std::size_t size() const noexcept { return events_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // Most recent `n` events, oldest first.
+  std::vector<Event> recent(std::size_t n) const {
+    const std::size_t count = std::min(n, events_.size());
+    return {events_.end() - static_cast<std::ptrdiff_t>(count),
+            events_.end()};
+  }
+
+  // All retained events of one category, oldest first.
+  std::vector<Event> by_category(std::string_view category) const {
+    std::vector<Event> out;
+    for (const Event& event : events_)
+      if (event.category == category) out.push_back(event);
+    return out;
+  }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // "[123.45us] fabric.write: node0 -> node1, 4096B" lines.
+  std::string to_string(std::size_t last_n = 64) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dm::sim

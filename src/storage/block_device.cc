@@ -1,0 +1,104 @@
+#include "storage/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dm::storage {
+
+BlockDevice::BlockDevice(sim::Simulator& simulator, Config config)
+    : sim_(simulator), config_(config), store_(config.capacity_bytes) {}
+
+SimTime BlockDevice::charge(std::uint64_t offset, std::uint64_t bytes) {
+  const SimTime start = std::max(sim_.now(), next_free_);
+  const std::uint64_t distance =
+      offset >= head_pos_ ? offset - head_pos_ : head_pos_ - offset;
+  const bool sequential = distance <= config_.sequential_window;
+  SimTime cost = config_.model.transfer(bytes);
+  if (!sequential) {
+    cost += config_.model.seek_ns;
+    ++metrics_.counter("disk.seeks");
+  } else {
+    ++metrics_.counter("disk.sequential");
+  }
+  next_free_ = start + cost;
+  head_pos_ = offset + bytes;
+  metrics_.counter("disk.bytes") += bytes;
+  return next_free_;
+}
+
+Status BlockDevice::read(std::uint64_t offset, std::span<std::byte> dest,
+                         IoCallback done) {
+  if (offset + dest.size() > store_.size())
+    return InvalidArgumentError("read past device end");
+  const SimTime when = charge(offset, dest.size());
+  ++metrics_.counter("disk.reads");
+  sim_.schedule_at(when, [this, offset, dest, done = std::move(done), when]() {
+    std::memcpy(dest.data(), store_.data() + offset, dest.size());
+    if (done) done(Status::Ok(), when);
+  });
+  return Status::Ok();
+}
+
+Status BlockDevice::write(std::uint64_t offset, std::span<const std::byte> src,
+                          IoCallback done) {
+  if (offset + src.size() > store_.size())
+    return InvalidArgumentError("write past device end");
+  const SimTime when = charge(offset, src.size());
+  ++metrics_.counter("disk.writes");
+  // Capture the payload at post time (matches a kernel bio with its own
+  // pages pinned).
+  std::vector<std::byte> payload(src.begin(), src.end());
+  sim_.schedule_at(
+      when, [this, offset, payload = std::move(payload),
+             done = std::move(done), when]() {
+        std::memcpy(store_.data() + offset, payload.data(), payload.size());
+        if (done) done(Status::Ok(), when);
+      });
+  return Status::Ok();
+}
+
+Status BlockDevice::read_sync(std::uint64_t offset, std::span<std::byte> dest) {
+  bool completed = false;
+  Status result;
+  DM_RETURN_IF_ERROR(read(offset, dest, [&](const Status& s, SimTime) {
+    result = s;
+    completed = true;
+  }));
+  if (!sim_.run_until_flag(completed))
+    return InternalError("simulation ran dry during disk read");
+  return result;
+}
+
+Status BlockDevice::write_sync(std::uint64_t offset,
+                               std::span<const std::byte> src) {
+  bool completed = false;
+  Status result;
+  DM_RETURN_IF_ERROR(write(offset, src, [&](const Status& s, SimTime) {
+    result = s;
+    completed = true;
+  }));
+  if (!sim_.run_until_flag(completed))
+    return InternalError("simulation ran dry during disk write");
+  return result;
+}
+
+SwapExtentAllocator::SwapExtentAllocator(std::uint64_t capacity_bytes,
+                                         std::uint64_t slot_bytes)
+    : slot_bytes_(slot_bytes), total_slots_(capacity_bytes / slot_bytes) {}
+
+StatusOr<std::uint64_t> SwapExtentAllocator::allocate() {
+  if (!free_.empty()) {
+    const std::uint64_t slot = free_.back();
+    free_.pop_back();
+    return slot * slot_bytes_;
+  }
+  if (next_fresh_slot_ >= total_slots_)
+    return ResourceExhaustedError("swap device full");
+  return next_fresh_slot_++ * slot_bytes_;
+}
+
+void SwapExtentAllocator::release(std::uint64_t offset) {
+  free_.push_back(offset / slot_bytes_);
+}
+
+}  // namespace dm::storage

@@ -1,0 +1,351 @@
+#include "swap/swap_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dm::swap {
+namespace {
+
+compress::GranularityMode granularity_of(CompressionMode mode) {
+  return mode == CompressionMode::kTwoGranularity
+             ? compress::GranularityMode::kTwo
+             : compress::GranularityMode::kFour;
+}
+
+}  // namespace
+
+SwapManager::SwapManager(core::Ldmc& client, Config config,
+                         PageContentFn content)
+    : client_(client), config_(config), content_(std::move(content)),
+      compressor_(granularity_of(config.compression)) {
+  if (config_.zswap_pool_bytes > 0) zswap_.emplace(config_.zswap_pool_bytes);
+  // Backup region: top half of the node's swap disk (never read back; it
+  // models Infiniswap's asynchronous durability path).
+  backup_cursor_ = client_.service().node().disk().capacity() / 2;
+}
+
+void SwapManager::charge(SimTime cost) {
+  auto& sim = client_.service().node().simulator();
+  sim.run_until(sim.now() + cost);
+}
+
+Status SwapManager::touch(std::uint64_t page, bool write) {
+  auto& latency = client_.service().node().fabric().config().latency;
+  auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    lru_.touch(page);
+    if (write) {
+      dirty_.insert(page);
+      // A write invalidates the swap-cache copy (as the kernel does).
+      DM_RETURN_IF_ERROR(invalidate_backing(page));
+    }
+    charge(latency.dram.overhead_ns);
+    return Status::Ok();
+  }
+  ++faults_;
+  if (zswap_ && zswap_->contains(page)) {
+    DM_RETURN_IF_ERROR(fault_in_zswap(page));
+  } else if (backed_.count(page) > 0) {
+    DM_RETURN_IF_ERROR(fault_in(page));
+  } else {
+    // First touch: demand-zero (well, demand-content) fault.
+    DM_RETURN_IF_ERROR(make_room(1));
+    auto [slot, inserted] =
+        resident_.try_emplace(page, std::vector<std::byte>(kPageBytes));
+    content_(page, slot->second);
+    lru_.touch(page);
+    ++metrics_.counter("swap.cold_faults");
+  }
+  if (write) {
+    dirty_.insert(page);
+    DM_RETURN_IF_ERROR(invalidate_backing(page));
+  }
+  charge(latency.dram.overhead_ns);
+  return Status::Ok();
+}
+
+Status SwapManager::invalidate_backing(std::uint64_t page) {
+  if (zswap_) zswap_->invalidate(page);
+  auto it = backed_.find(page);
+  if (it == backed_.end()) return Status::Ok();
+  const mem::EntryId entry = it->second.batch;
+  backed_.erase(it);
+  auto batch_it = batches_.find(entry);
+  if (batch_it == batches_.end())
+    return InternalError("backing references unknown batch");
+  auto& members = batch_it->second.pages;
+  members.erase(std::find(members.begin(), members.end(), page));
+  if (members.empty()) {
+    batches_.erase(batch_it);
+    DM_RETURN_IF_ERROR(client_.remove_sync(entry));
+  }
+  return Status::Ok();
+}
+
+Status SwapManager::make_room(std::uint64_t incoming_pages) {
+  while (resident_.size() + incoming_pages > config_.resident_pages) {
+    DM_RETURN_IF_ERROR(evict_for_space());
+  }
+  return Status::Ok();
+}
+
+Status SwapManager::evict_for_space() {
+  // Walk victims in LRU order. Clean pages with a valid swap-cache copy are
+  // dropped for free (the copy down-tier is still good); dirty or unbacked
+  // pages accumulate into one write-out batch. Clean drops do not end the
+  // walk early: stopping at the first clean page would fragment the dirty
+  // write-out into tiny batches and destroy the §IV.H clustering (and the
+  // Linux baseline's write clustering with it).
+  std::vector<std::uint64_t> to_write;
+  bool freed_any = false;
+  while (to_write.size() < config_.batch_pages && !lru_.empty()) {
+    auto victim = lru_.evict_lru();
+    if (!victim) break;
+    const std::uint64_t page = *victim;
+    const bool clean = dirty_.count(page) == 0 && backed_.count(page) > 0;
+    if (clean) {
+      resident_.erase(page);
+      freed_any = true;
+      ++metrics_.counter("swap.clean_drops");
+      // Enough frames freed without any I/O? Stop walking.
+      if (to_write.empty()) break;
+      continue;
+    }
+    to_write.push_back(page);
+  }
+  if (to_write.empty()) {
+    if (freed_any) return Status::Ok();
+    return FailedPreconditionError("nothing resident to evict");
+  }
+  return write_out_batch(to_write);
+}
+
+Status SwapManager::write_out_batch(const std::vector<std::uint64_t>& pages) {
+  // Extract the victims' bytes first; the zswap tier (when enabled)
+  // absorbs them and only its writebacks continue to the backend.
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> extracted;
+  extracted.reserve(pages.size());
+  for (std::uint64_t page : pages) {
+    auto node = resident_.extract(page);
+    dirty_.erase(page);
+    extracted.emplace_back(page, std::move(node.mapped()));
+  }
+
+  if (zswap_) {
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> writeback;
+    for (auto& [page, bytes] : extracted) {
+      charge(config_.compress_ns);
+      auto overflow = zswap_->put(page, bytes);
+      if (!overflow.ok()) return overflow.status();
+      for (auto& wb : *overflow)
+        writeback.emplace_back(wb.page, std::move(wb.bytes));
+    }
+    if (writeback.empty()) return Status::Ok();
+    return store_batch(std::move(writeback));
+  }
+  return store_batch(std::move(extracted));
+}
+
+Status SwapManager::store_batch(
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> pages) {
+  // The batch is assembled in the node's send staging pool (paper Fig. 1:
+  // the cluster-wide DM send buffer), then handed to the LDMC in one piece.
+  auto& staging = client_.service().node().send_pool();
+  staging.reset();
+  std::vector<std::byte> buffer;
+  buffer.reserve(pages.size() * kPageBytes);
+  BatchInfo batch;
+  const mem::EntryId entry = next_batch_++;
+
+  for (auto& [page, bytes] : pages) {
+
+    if (config_.extra_op_overhead > 0) charge(config_.extra_op_overhead);
+    Backing info;
+    info.batch = entry;
+    info.offset = static_cast<std::uint32_t>(buffer.size());
+    if (config_.compression == CompressionMode::kOff) {
+      info.length = kPageBytes;
+      buffer.insert(buffer.end(), bytes.begin(), bytes.end());
+    } else {
+      charge(config_.compress_ns);
+      auto compressed = compressor_.compress(bytes);
+      info.compressed = true;
+      info.raw = compressed.is_raw;
+      info.length = static_cast<std::uint32_t>(compressed.data.size());
+      buffer.insert(buffer.end(), compressed.data.begin(),
+                    compressed.data.end());
+      metrics_.counter("swap.compressed_bytes") += compressed.bucket;
+      metrics_.counter("swap.logical_bytes") += kPageBytes;
+    }
+    backed_.emplace(page, info);
+    batch.pages.push_back(page);
+  }
+  batches_.emplace(entry, batch);
+
+  // Stage the assembled batch; falls back to the local vector if the
+  // window exceeds the pool (functional behaviour is identical — the pool
+  // models the reserved send-side memory of §IV.B).
+  std::span<const std::byte> outgoing = buffer;
+  if (auto staged = staging.stage(buffer.size()); staged.ok()) {
+    std::memcpy(staged->data(), buffer.data(), buffer.size());
+    outgoing = *staged;
+    ++metrics_.counter("swap.batches_staged");
+  }
+  Status stored = client_.put_sync(entry, outgoing);
+  if (!stored.ok()) {
+    // Roll back: restore the victims as resident from the staged buffer.
+    // (For zswap writebacks "resident" is a safe over-approximation: the
+    // pages re-enter the LRU dirty and will be retried.)
+    for (std::uint64_t page : batch.pages) {
+      const Backing info = backed_.at(page);
+      std::vector<std::byte> bytes(kPageBytes);
+      if (info.compressed && !info.raw) {
+        compress::CompressedPage cp;
+        cp.data.assign(buffer.begin() + info.offset,
+                       buffer.begin() + info.offset + info.length);
+        cp.is_raw = false;
+        (void)compressor_.decompress(cp, bytes);
+      } else {
+        std::memcpy(bytes.data(), buffer.data() + info.offset, info.length);
+      }
+      resident_.emplace(page, std::move(bytes));
+      lru_.touch(page);
+      dirty_.insert(page);  // still unbacked down-tier
+      backed_.erase(page);
+    }
+    batches_.erase(entry);
+    return stored;
+  }
+  ++swap_outs_;
+  metrics_.counter("swap.swapped_out_pages") += batch.pages.size();
+
+  if (config_.disk_backup) {
+    // Asynchronous full-page backup writes (Infiniswap durability path);
+    // they queue on the disk but do not block the fault path.
+    auto& disk = client_.service().node().disk();
+    for (std::size_t i = 0; i < batch.pages.size(); ++i) {
+      if (backup_cursor_ + kPageBytes > disk.capacity())
+        backup_cursor_ = disk.capacity() / 2;
+      std::vector<std::byte> copy(kPageBytes);
+      (void)disk.write(backup_cursor_, copy, {});
+      backup_cursor_ += kPageBytes;
+      ++metrics_.counter("swap.backup_writes");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SwapManager::materialize(std::uint64_t page,
+                                std::span<const std::byte> stored,
+                                const Backing& info) {
+  std::vector<std::byte> bytes(kPageBytes);
+  if (info.compressed && !info.raw) {
+    charge(config_.decompress_ns);
+    compress::CompressedPage cp;
+    cp.data.assign(stored.begin(), stored.end());
+    cp.is_raw = false;
+    DM_RETURN_IF_ERROR(compressor_.decompress(cp, bytes));
+  } else {
+    if (stored.size() != kPageBytes)
+      return DataLossError("raw page has wrong stored size");
+    std::memcpy(bytes.data(), stored.data(), kPageBytes);
+  }
+  resident_.insert_or_assign(page, std::move(bytes));
+  lru_.touch(page);
+  ++swap_ins_;
+  return Status::Ok();
+}
+
+Status SwapManager::fault_in_zswap(std::uint64_t page) {
+  // Load from the pool BEFORE making room: eviction below may push other
+  // pages into zswap and write this very entry back down-tier.
+  charge(config_.decompress_ns);
+  std::vector<std::byte> bytes(kPageBytes);
+  if (!zswap_->take(page, bytes))
+    return InternalError("zswap entry vanished during fault");
+  DM_RETURN_IF_ERROR(make_room(1));
+  // zswap frees the entry on load: the page returns dirty (unbacked).
+  resident_.insert_or_assign(page, std::move(bytes));
+  dirty_.insert(page);
+  lru_.touch(page);
+  ++swap_ins_;
+  ++metrics_.counter("swap.zswap_hits");
+  return Status::Ok();
+}
+
+Status SwapManager::fault_in(std::uint64_t page) {
+  const Backing info = backed_.at(page);
+  auto batch_it = batches_.find(info.batch);
+  if (batch_it == batches_.end())
+    return InternalError("backed page references unknown batch");
+
+  if (config_.proactive_batch_swap_in) {
+    // PBS: fetch the whole batch entry with one disaggregated-memory read
+    // and repopulate every non-resident page stored in it. The swap-cache
+    // copies stay valid (pages come back clean).
+    auto size = client_.stored_size(info.batch);
+    if (!size.ok()) return size.status();
+    std::vector<std::byte> buffer(*size);
+    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer));
+
+    std::vector<std::uint64_t> restore;
+    for (std::uint64_t member : batch_it->second.pages)
+      if (resident_.count(member) == 0) restore.push_back(member);
+    DM_RETURN_IF_ERROR(make_room(restore.size()));
+    if (config_.extra_op_overhead > 0)
+      charge(config_.extra_op_overhead *
+             static_cast<SimTime>(restore.size()));
+    for (std::uint64_t member : restore) {
+      const Backing member_info = backed_.at(member);
+      DM_RETURN_IF_ERROR(materialize(
+          member,
+          std::span<const std::byte>(buffer).subspan(member_info.offset,
+                                                     member_info.length),
+          member_info));
+    }
+    ++metrics_.counter("swap.pbs_batch_ins");
+    return Status::Ok();
+  }
+
+  // Non-PBS: the batch is still the unit of storage (one §IV.H message
+  // holds the window), so the fault fetches the batch entry but restores
+  // only the faulted page — its siblings stay down-tier and each pays the
+  // same fetch again on its own fault. This is exactly the waste PBS
+  // removes. Batches of one page degenerate to a cheap sub-read.
+  if (config_.extra_op_overhead > 0) charge(config_.extra_op_overhead);
+  if (batch_it->second.pages.size() > 1) {
+    auto size = client_.stored_size(info.batch);
+    if (!size.ok()) return size.status();
+    std::vector<std::byte> buffer(*size);
+    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer));
+    DM_RETURN_IF_ERROR(make_room(1));
+    DM_RETURN_IF_ERROR(materialize(
+        page,
+        std::span<const std::byte>(buffer).subspan(info.offset, info.length),
+        info));
+  } else {
+    std::vector<std::byte> stored(info.length);
+    DM_RETURN_IF_ERROR(
+        client_.get_range_sync(info.batch, info.offset, stored));
+    DM_RETURN_IF_ERROR(make_room(1));
+    DM_RETURN_IF_ERROR(materialize(page, stored, info));
+  }
+  ++metrics_.counter("swap.single_page_ins");
+  return Status::Ok();
+}
+
+Status SwapManager::flush_all() {
+  while (!resident_.empty()) {
+    DM_RETURN_IF_ERROR(evict_for_space());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::span<const std::byte>> SwapManager::resident_bytes(
+    std::uint64_t page) const {
+  auto it = resident_.find(page);
+  if (it == resident_.end()) return NotFoundError("page not resident");
+  return std::span<const std::byte>(it->second);
+}
+
+}  // namespace dm::swap

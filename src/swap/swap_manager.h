@@ -1,0 +1,154 @@
+// Transparent swapping over disaggregated memory — FastSwap and baselines
+// (paper §IV.H, §V.A).
+//
+// SwapManager models the guest-OS paging path of one virtual server: a
+// resident set of real 4 KiB pages bounded by `resident_pages` (the paper's
+// "75% / 50% configuration" = resident budget as a fraction of working
+// set), an LRU victim policy, and a pluggable back end — the server's LDMC,
+// whose policy knobs select the system under test:
+//
+//   FastSwap        shm-first LDMC, multi-granularity compression,
+//                   window-based batch swap-out, proactive batch swap-in
+//   FastSwap w/o PBS  same, but a fault brings in only the faulted page
+//   Infiniswap      remote-only LDMC (no node-level pool), per-page
+//                   messages, no compression, async whole-page disk backup
+//   NBDX            like Infiniswap plus the block-I/O-stack tax per op
+//   Linux           disk-only LDMC, per-page, no compression
+//
+// Batching (§IV.H): swap-out packs up to `batch_pages` dirty victim pages
+// (compressed) into ONE disaggregated-memory entry, so one RDMA message
+// carries the window. PBS makes a fault fetch that whole entry back and
+// repopulate every page in it — this is why Memcached recovers to peak
+// throughput quickly in Fig 9.
+//
+// Swap-cache semantics (as in the kernel): a page restored from
+// disaggregated memory stays *backed* — evicting it again while clean is
+// free, and only a write invalidates the down-tier copy. Without this,
+// batch swap-in would penalize steady-state random access by rewriting
+// unmodified pages on every eviction.
+//
+// All data is real: page contents come from the workload's content
+// generator, travel compressed through the tiers, and are checksum-checked
+// by the test suite when they return.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/lru.h"
+#include "common/metrics.h"
+#include "compress/page_compressor.h"
+#include "core/ldmc.h"
+#include "swap/zswap_cache.h"
+
+namespace dm::swap {
+
+inline constexpr std::size_t kPageBytes = compress::kPageSize;
+
+enum class CompressionMode { kOff, kTwoGranularity, kFourGranularity };
+
+// Fills `out` (4 KiB) with the contents of `page` — deterministic per page.
+using PageContentFn =
+    std::function<void(std::uint64_t page, std::span<std::byte> out)>;
+
+class SwapManager {
+ public:
+  struct Config {
+    std::uint64_t resident_pages = 1024;
+    std::size_t batch_pages = 8;  // swap-out window d (1 = per-page)
+    bool proactive_batch_swap_in = true;
+    CompressionMode compression = CompressionMode::kFourGranularity;
+    // CPU cost of (de)compressing one 4 KiB page (LZO-class speeds).
+    SimTime compress_ns = 1 * kMicro;
+    SimTime decompress_ns = 500;
+    // Infiniswap-style asynchronous whole-page disk backup on swap-out.
+    bool disk_backup = false;
+    // Block-I/O-stack tax charged per swapped *page* (bio submission, nbd
+    // request path) on both swap-out and swap-in. Zero for FastSwap (its
+    // data path bypasses the block layer entirely) and for the rotational
+    // disk (seek time dwarfs it).
+    SimTime extra_op_overhead = 0;
+    // Zswap: size of the in-DRAM compressed cache in front of the backend
+    // (0 = disabled). Pages evicted from the pool are written back through
+    // the normal store path.
+    std::uint64_t zswap_pool_bytes = 0;
+  };
+
+  SwapManager(core::Ldmc& client, Config config, PageContentFn content);
+
+  // Touches one page of the working set; swaps in/out as needed. This is
+  // synchronous: it drives the simulator until the fault completes, so the
+  // caller reads elapsed virtual time off the simulator clock.
+  Status touch(std::uint64_t page, bool write = false);
+
+  // Evicts every resident page (cold-start scenarios, e.g. Fig 9's
+  // post-flush recovery measurement).
+  Status flush_all();
+
+  bool is_resident(std::uint64_t page) const {
+    return resident_.count(page) > 0;
+  }
+  std::uint64_t resident_count() const noexcept { return resident_.size(); }
+
+  // Direct read of a resident page's bytes (tests verify integrity).
+  StatusOr<std::span<const std::byte>> resident_bytes(
+      std::uint64_t page) const;
+
+  std::uint64_t faults() const noexcept { return faults_; }
+  std::uint64_t swap_ins() const noexcept { return swap_ins_; }
+  std::uint64_t swap_outs() const noexcept { return swap_outs_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  core::Ldmc& client() noexcept { return client_; }
+
+ private:
+  struct Backing {
+    mem::EntryId batch = 0;
+    std::uint32_t offset = 0;  // byte offset within the batch entry
+    std::uint32_t length = 0;  // stored bytes
+    bool compressed = false;
+    bool raw = false;  // stored uncompressed inside a compressed batch
+  };
+  struct BatchInfo {
+    std::vector<std::uint64_t> pages;  // pages still stored in this entry
+  };
+
+  Status fault_in(std::uint64_t page);
+  Status fault_in_zswap(std::uint64_t page);
+  Status make_room(std::uint64_t incoming_pages);
+  Status evict_for_space();
+  Status write_out_batch(const std::vector<std::uint64_t>& pages);
+  // Stores already-extracted (page, raw bytes) pairs as one batch entry.
+  Status store_batch(std::vector<std::pair<std::uint64_t,
+                                           std::vector<std::byte>>> pages);
+  Status invalidate_backing(std::uint64_t page);
+  Status materialize(std::uint64_t page, std::span<const std::byte> stored,
+                     const Backing& info);
+  void charge(SimTime cost);
+
+  core::Ldmc& client_;
+  Config config_;
+  PageContentFn content_;
+  compress::PageCompressor compressor_;
+  std::optional<ZswapCache> zswap_;
+
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> resident_;
+  std::unordered_set<std::uint64_t> dirty_;
+  LruTracker<std::uint64_t> lru_;  // resident pages only
+  // Swap-cache: pages with a valid stored copy (may also be resident).
+  std::unordered_map<std::uint64_t, Backing> backed_;
+  std::unordered_map<mem::EntryId, BatchInfo> batches_;
+  mem::EntryId next_batch_ = 1;
+  std::uint64_t backup_cursor_ = 0;
+
+  std::uint64_t faults_ = 0;
+  std::uint64_t swap_ins_ = 0;
+  std::uint64_t swap_outs_ = 0;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace dm::swap

@@ -1,0 +1,68 @@
+#include "swap/zswap_cache.h"
+
+namespace dm::swap {
+
+StatusOr<std::vector<ZswapCache::Writeback>> ZswapCache::put(
+    std::uint64_t page, std::span<const std::byte> bytes) {
+  if (bytes.size() != compress::kPageSize)
+    return InvalidArgumentError("zswap stores whole pages");
+  std::vector<Writeback> writebacks;
+
+  auto compressed = compress::lz_compress(bytes);
+  const std::size_t footprint = compress::zswap_zbud_footprint(
+      compressed.size());
+  if (footprint >= compress::kPageSize || footprint > capacity_) {
+    // Poorly compressible (or pool too small to ever hold it): zswap
+    // rejects it; it goes straight down-tier.
+    ++metrics_.counter("zswap.rejected");
+    writebacks.push_back({page, {bytes.begin(), bytes.end()}});
+    return writebacks;
+  }
+
+  // Make room by writing back the oldest entries (decompressed, since the
+  // swap device stores raw pages).
+  while (used_ + footprint > capacity_ && !lru_.empty()) {
+    const std::uint64_t victim = *lru_.evict_lru();
+    auto it = entries_.find(victim);
+    Writeback wb;
+    wb.page = victim;
+    wb.bytes.resize(compress::kPageSize);
+    if (auto s = compress::lz_decompress(it->second.compressed, wb.bytes);
+        !s.ok())
+      return s;
+    used_ -= it->second.footprint;
+    entries_.erase(it);
+    writebacks.push_back(std::move(wb));
+    ++metrics_.counter("zswap.writebacks");
+  }
+
+  used_ += footprint;
+  entries_[page] = Entry{std::move(compressed), footprint};
+  lru_.touch(page);
+  ++metrics_.counter("zswap.stores");
+  return writebacks;
+}
+
+bool ZswapCache::take(std::uint64_t page, std::span<std::byte> out) {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    ++metrics_.counter("zswap.misses");
+    return false;
+  }
+  if (!compress::lz_decompress(it->second.compressed, out).ok()) return false;
+  used_ -= it->second.footprint;
+  entries_.erase(it);
+  lru_.erase(page);
+  ++metrics_.counter("zswap.loads");
+  return true;
+}
+
+void ZswapCache::invalidate(std::uint64_t page) {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) return;
+  used_ -= it->second.footprint;
+  entries_.erase(it);
+  lru_.erase(page);
+}
+
+}  // namespace dm::swap

@@ -1,0 +1,67 @@
+// Zswap-style compressed RAM cache (paper §IV.H, Fig 3's baseline).
+//
+// Zswap intercepts swap-out: pages are LZ-compressed into an in-DRAM zbud
+// pool (at most two compressed pages per 4 KiB frame, so the effective
+// ratio never exceeds 2.0). When the pool exceeds its budget, the oldest
+// entries are written back to the real swap device. Swap-in checks the
+// pool first — a hit costs a decompression instead of a disk I/O.
+//
+// This is the node-local, single-tier ancestor of FastSwap's design: same
+// compression idea, but no multi-granularity buckets, no shared pool across
+// servers, and no remote tier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "compress/page_compressor.h"
+
+namespace dm::swap {
+
+class ZswapCache {
+ public:
+  explicit ZswapCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Compresses and stores a page copy. Returns the pages that had to be
+  // written back to make room (their raw bytes, for the disk path). A page
+  // whose compressed form does not fit half a frame is rejected (returned
+  // in the writeback list as zswap does) rather than stored raw.
+  struct Writeback {
+    std::uint64_t page;
+    std::vector<std::byte> bytes;
+  };
+  StatusOr<std::vector<Writeback>> put(std::uint64_t page,
+                                       std::span<const std::byte> bytes);
+
+  // Decompresses the cached copy into `out` and removes it from the pool
+  // (zswap frees the entry on load). Returns false on miss.
+  bool take(std::uint64_t page, std::span<std::byte> out);
+
+  bool contains(std::uint64_t page) const { return entries_.count(page) > 0; }
+  void invalidate(std::uint64_t page);
+
+  std::uint64_t used_bytes() const noexcept { return used_; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> compressed;
+    std::size_t footprint;  // zbud-charged bytes
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  LruTracker<std::uint64_t> lru_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace dm::swap

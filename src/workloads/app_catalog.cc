@@ -1,0 +1,44 @@
+#include "workloads/app_catalog.h"
+
+#include <array>
+
+namespace dm::workloads {
+namespace {
+
+// Compressibility (random_fraction) is calibrated so the Fig 3 spread
+// appears: text/graph data compresses well, numeric feature matrices less,
+// serialized store values are in between.
+constexpr std::array<AppSpec, 10> kApps{{
+    {"PageRank", "Spark GraphX", AppKind::kGraph, 28.0, 16.0, 0.18, 0.80, 8,
+     450},
+    {"LogisticRegression", "Spark MLlib", AppKind::kIterativeMl, 30.0, 20.0,
+     0.10, 0.00, 10, 400},
+    {"TunkRank", "PowerGraph", AppKind::kGraph, 27.0, 15.0, 0.22, 0.85, 8,
+     500},
+    {"KMeans", "Spark MLlib", AppKind::kIterativeMl, 26.0, 14.0, 0.14, 0.00,
+     10, 420},
+    {"SVM", "Spark MLlib", AppKind::kIterativeMl, 29.0, 18.0, 0.12, 0.00, 10,
+     430},
+    {"ConnectedComponents", "Spark GraphX", AppKind::kGraph, 25.0, 12.0, 0.28,
+     0.75, 6, 480},
+    {"ALS", "Spark MLlib", AppKind::kIterativeMl, 27.0, 16.0, 0.04, 0.00, 12,
+     460},
+    {"Redis", "Redis 3.2", AppKind::kKeyValue, 25.0, 12.0, 0.20, 0.99, 0,
+     900},
+    {"Memcached", "Memcached 1.4 (ETC)", AppKind::kKeyValue, 26.0, 13.0, 0.25,
+     0.99, 0, 800},
+    {"VoltDB", "VoltDB 6.6", AppKind::kKeyValue, 30.0, 20.0, 0.35, 0.90, 0,
+     1500},
+}};
+
+}  // namespace
+
+std::span<const AppSpec> app_catalog() { return kApps; }
+
+const AppSpec* find_app(std::string_view name) {
+  for (const AppSpec& app : kApps)
+    if (app.name == name) return &app;
+  return nullptr;
+}
+
+}  // namespace dm::workloads

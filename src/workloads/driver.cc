@@ -1,0 +1,121 @@
+#include "workloads/driver.h"
+
+#include "workloads/page_content.h"
+
+namespace dm::workloads {
+namespace {
+
+sim::Simulator& sim_of(swap::SwapManager& memory) {
+  return memory.client().service().node().simulator();
+}
+
+// One access: charge compute, then touch the page (which may fault).
+// Records the end-to-end access latency into the result histogram.
+Status access(swap::SwapManager& memory, std::uint64_t page, SimTime cpu_ns,
+              bool write, Histogram& latency) {
+  auto& sim = sim_of(memory);
+  const SimTime start = sim.now();
+  sim.run_until(start + cpu_ns);
+  Status touched = memory.touch(page, write);
+  latency.record(static_cast<std::uint64_t>(sim.now() - start));
+  return touched;
+}
+
+}  // namespace
+
+swap::PageContentFn content_for(const AppSpec& spec, std::uint64_t seed) {
+  const double random_fraction = spec.random_fraction;
+  return [random_fraction, seed](std::uint64_t page,
+                                 std::span<std::byte> out) {
+    fill_page(out, page, random_fraction, seed);
+  };
+}
+
+RunResult run_iterative(swap::SwapManager& memory, const AppSpec& spec,
+                        std::uint64_t pages, Rng& rng) {
+  RunResult result;
+  auto& sim = sim_of(memory);
+  const SimTime start = sim.now();
+  const std::uint64_t faults_before = memory.faults();
+
+  ZipfGenerator skew(pages, spec.zipf_theta > 0 ? spec.zipf_theta : 0.5);
+  for (int iter = 0; iter < spec.iterations; ++iter) {
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      std::uint64_t page = p;
+      bool write = false;
+      if (spec.kind == AppKind::kGraph && spec.zipf_theta > 0 &&
+          rng.bernoulli(0.3)) {
+        // Graph apps chase skewed neighbour references alongside the sweep.
+        page = skew.next(rng);
+      }
+      // Iterative apps update model/rank state on a fraction of accesses.
+      write = rng.bernoulli(0.25);
+      result.status = access(memory, page, spec.cpu_ns_per_access, write,
+                             result.op_latency);
+      if (!result.status.ok()) return result;
+      ++result.accesses;
+    }
+  }
+  result.elapsed = sim.now() - start;
+  result.faults = memory.faults() - faults_before;
+  return result;
+}
+
+RunResult run_kv(swap::SwapManager& memory, const AppSpec& spec,
+                 std::uint64_t pages, std::uint64_t ops, Rng& rng) {
+  RunResult result;
+  auto& sim = sim_of(memory);
+  const SimTime start = sim.now();
+  const std::uint64_t faults_before = memory.faults();
+
+  ZipfGenerator keys(pages, spec.zipf_theta);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    // ETC-like mix: ~90% reads.
+    const bool write = rng.bernoulli(0.1);
+    result.status = access(memory, keys.next(rng), spec.cpu_ns_per_access,
+                           write, result.op_latency);
+    if (!result.status.ok()) return result;
+    ++result.accesses;
+  }
+  result.elapsed = sim.now() - start;
+  result.faults = memory.faults() - faults_before;
+  return result;
+}
+
+RunResult run_kv_timed(
+    swap::SwapManager& memory, const AppSpec& spec, std::uint64_t pages,
+    SimTime duration, SimTime window,
+    const std::function<void(std::size_t, std::uint64_t)>& on_window,
+    Rng& rng) {
+  RunResult result;
+  auto& sim = sim_of(memory);
+  const SimTime start = sim.now();
+  const SimTime deadline = start + duration;
+  const std::uint64_t faults_before = memory.faults();
+
+  ZipfGenerator keys(pages, spec.zipf_theta);
+  std::size_t window_index = 0;
+  std::uint64_t window_ops = 0;
+  SimTime window_end = start + window;
+
+  while (sim.now() < deadline) {
+    const bool write = rng.bernoulli(0.1);
+    result.status = access(memory, keys.next(rng), spec.cpu_ns_per_access,
+                           write, result.op_latency);
+    if (!result.status.ok()) return result;
+    ++result.accesses;
+    ++window_ops;
+    while (sim.now() >= window_end) {
+      on_window(window_index, window_ops);
+      ++window_index;
+      window_ops = 0;
+      window_end += window;
+    }
+  }
+  if (window_ops > 0) on_window(window_index, window_ops);
+  result.elapsed = sim.now() - start;
+  result.faults = memory.faults() - faults_before;
+  return result;
+}
+
+}  // namespace dm::workloads

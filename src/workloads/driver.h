@@ -1,0 +1,61 @@
+// Workload drivers: replay an application's memory-access behaviour against
+// a SwapManager and measure completion time / throughput in virtual time.
+//
+// Iterative apps (Fig 4–7): `iterations` passes over a working set of
+// `pages` pages. Dense ML apps scan sequentially; graph apps interleave a
+// sequential sweep with zipf-skewed vertex jumps. Every access charges the
+// app's per-access compute time, so completion time = compute + stalls and
+// the stall share grows as the resident fraction shrinks — exactly the 75%
+// and 50% configurations of §V.
+//
+// KV apps (Fig 8–9): a request loop over a zipfian keyspace; each request
+// touches the page holding the key. Throughput = requests / virtual time.
+// run_kv_timed() additionally samples per-window throughput to produce the
+// Fig 9 recovery timeline.
+#pragma once
+
+#include <functional>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "swap/swap_manager.h"
+#include "workloads/app_catalog.h"
+
+namespace dm::workloads {
+
+struct RunResult {
+  SimTime elapsed = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;
+  Status status;
+  // Per-access virtual-time latency distribution (includes fault stalls).
+  Histogram op_latency;
+
+  double seconds() const {
+    return static_cast<double>(elapsed) / static_cast<double>(kSecond);
+  }
+  double ops_per_second() const {
+    return seconds() > 0 ? static_cast<double>(accesses) / seconds() : 0.0;
+  }
+};
+
+// Runs an iterative app to completion (spec.iterations passes over `pages`).
+RunResult run_iterative(swap::SwapManager& memory, const AppSpec& spec,
+                        std::uint64_t pages, Rng& rng);
+
+// Runs `ops` KV requests over a `pages`-page keyspace.
+RunResult run_kv(swap::SwapManager& memory, const AppSpec& spec,
+                 std::uint64_t pages, std::uint64_t ops, Rng& rng);
+
+// Runs KV requests for `duration` of virtual time; reports completed ops per
+// `window` to the callback (window index, ops completed in that window).
+RunResult run_kv_timed(
+    swap::SwapManager& memory, const AppSpec& spec, std::uint64_t pages,
+    SimTime duration, SimTime window,
+    const std::function<void(std::size_t, std::uint64_t)>& on_window,
+    Rng& rng);
+
+// A PageContentFn for the app (binds compressibility and a seed).
+swap::PageContentFn content_for(const AppSpec& spec, std::uint64_t seed);
+
+}  // namespace dm::workloads

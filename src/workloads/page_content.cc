@@ -1,0 +1,30 @@
+#include "workloads/page_content.h"
+
+#include "common/rng.h"
+
+namespace dm::workloads {
+
+void fill_page(std::span<std::byte> out, std::uint64_t page_id,
+               double random_fraction, std::uint64_t seed) {
+  Rng rng(mix64(seed ^ (page_id * 0x9e3779b97f4a7c15ULL)));
+  constexpr std::size_t kRun = 64;
+  // A per-page structured motif: repeating 8-byte stride, as columnar
+  // numeric data would look.
+  const std::uint64_t motif = rng.next_u64();
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t run = std::min(kRun, out.size() - pos);
+    if (rng.next_double() < random_fraction) {
+      for (std::size_t i = 0; i < run; ++i)
+        out[pos + i] = static_cast<std::byte>(rng.next_u64() & 0xff);
+    } else {
+      for (std::size_t i = 0; i < run; ++i) {
+        const auto shift = (i % 8) * 8;
+        out[pos + i] = static_cast<std::byte>((motif >> shift) & 0xff);
+      }
+    }
+    pos += run;
+  }
+}
+
+}  // namespace dm::workloads

@@ -1,0 +1,23 @@
+// Synthetic page contents with controllable compressibility.
+//
+// The paper's compression results (Fig 3–5) depend on how compressible the
+// applications' pages are. We reproduce that with real bytes: each 4 KiB
+// page is a deterministic function of (page id, seed) mixing 64-byte runs
+// of repeating structured data (compressible) with runs of random bytes
+// (incompressible), in a configurable proportion. Under the LZSS
+// compressor, a random_fraction of r yields a compressed size close to
+// r * 4096 + overhead, i.e. an effective ratio near 1/r — so the sweep in
+// Fig 4's "4 memory compressibility ratios" maps directly onto r.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dm::workloads {
+
+// Fills `out` (any size, typically 4 KiB). `random_fraction` in [0, 1]:
+// 0 = fully structured (compresses to a few %), 1 = incompressible.
+void fill_page(std::span<std::byte> out, std::uint64_t page_id,
+               double random_fraction, std::uint64_t seed);
+
+}  // namespace dm::workloads

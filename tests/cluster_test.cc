@@ -1,0 +1,327 @@
+// Tests for cluster coordination: placement policies, group directory,
+// membership heartbeats, and leader election.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "cluster/group.h"
+#include "cluster/membership.h"
+#include "cluster/node.h"
+#include "cluster/placement.h"
+
+namespace dm::cluster {
+namespace {
+
+// ---- placement policies -------------------------------------------------------
+
+std::vector<CandidateNode> candidates(std::size_t n, std::uint64_t free_each) {
+  std::vector<CandidateNode> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({static_cast<net::NodeId>(i), free_each});
+  return out;
+}
+
+class PlacementPolicyTest
+    : public ::testing::TestWithParam<PlacementPolicyKind> {};
+
+TEST_P(PlacementPolicyTest, PicksDistinctNodes) {
+  auto policy = make_placement_policy(GetParam());
+  Rng rng(1);
+  auto pool = candidates(8, 1 * MiB);
+  for (int round = 0; round < 100; ++round) {
+    auto picked = policy->pick(pool, 3, 4096, rng);
+    ASSERT_TRUE(picked.ok());
+    ASSERT_EQ(picked->size(), 3u);
+    std::set<net::NodeId> unique(picked->begin(), picked->end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST_P(PlacementPolicyTest, SkipsTooSmallCandidates) {
+  auto policy = make_placement_policy(GetParam());
+  Rng rng(2);
+  std::vector<CandidateNode> pool{{0, 100}, {1, 1 * MiB}, {2, 1 * MiB},
+                                  {3, 1 * MiB}};
+  for (int round = 0; round < 50; ++round) {
+    auto picked = policy->pick(pool, 3, 4096, rng);
+    ASSERT_TRUE(picked.ok());
+    for (net::NodeId n : *picked) EXPECT_NE(n, 0u);
+  }
+}
+
+TEST_P(PlacementPolicyTest, FailsWhenNotEnoughEligible) {
+  auto policy = make_placement_policy(GetParam());
+  Rng rng(3);
+  auto pool = candidates(2, 1 * MiB);
+  EXPECT_EQ(policy->pick(pool, 3, 4096, rng).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PlacementPolicyTest,
+    ::testing::Values(PlacementPolicyKind::kRandom,
+                      PlacementPolicyKind::kRoundRobin,
+                      PlacementPolicyKind::kWeightedRoundRobin,
+                      PlacementPolicyKind::kPowerOfTwoChoices),
+    [](const auto& info) {
+      return std::string(to_string(info.param)) == "round-robin"
+                 ? "round_robin"
+                 : std::string(to_string(info.param)) == "weighted-rr"
+                       ? "weighted_rr"
+                       : std::string(to_string(info.param)) == "power-of-two"
+                             ? "power_of_two"
+                             : "random";
+    });
+
+TEST(PlacementTest, RoundRobinCyclesEvenly) {
+  auto policy = make_placement_policy(PlacementPolicyKind::kRoundRobin);
+  Rng rng(4);
+  auto pool = candidates(6, 1 * MiB);
+  std::map<net::NodeId, int> counts;
+  for (int round = 0; round < 60; ++round) {
+    auto picked = policy->pick(pool, 1, 4096, rng);
+    ASSERT_TRUE(picked.ok());
+    ++counts[picked->front()];
+  }
+  for (const auto& [node, count] : counts) EXPECT_EQ(count, 10);
+}
+
+TEST(PlacementTest, PowerOfTwoBalancesLoad) {
+  // Simulated placement over 16 nodes with declining free memory: p2c must
+  // keep the spread (max-min) much tighter than random.
+  auto run = [](PlacementPolicyKind kind) {
+    auto policy = make_placement_policy(kind);
+    Rng rng(5);
+    std::vector<CandidateNode> pool = candidates(16, 10 * MiB);
+    std::vector<std::uint64_t> load(16, 0);
+    for (int i = 0; i < 2000; ++i) {
+      auto picked = policy->pick(pool, 1, 4096, rng);
+      if (!picked.ok()) break;
+      const auto n = picked->front();
+      load[n] += 4096;
+      pool[n].free_bytes -= 4096;
+    }
+    const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+    return *hi - *lo;
+  };
+  EXPECT_LE(run(PlacementPolicyKind::kPowerOfTwoChoices),
+            run(PlacementPolicyKind::kRandom));
+}
+
+TEST(PlacementTest, WeightedRrFavorsFreeNodes) {
+  auto policy = make_placement_policy(PlacementPolicyKind::kWeightedRoundRobin);
+  Rng rng(6);
+  std::vector<CandidateNode> pool{{0, 9 * MiB}, {1, 1 * MiB}};
+  int node0 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto picked = policy->pick(pool, 1, 4096, rng);
+    ASSERT_TRUE(picked.ok());
+    if (picked->front() == 0) ++node0;
+  }
+  EXPECT_GT(node0, 800);  // ~90% expected
+}
+
+// ---- group directory ------------------------------------------------------------
+
+TEST(GroupDirectoryTest, PartitionsEvenly) {
+  std::vector<net::NodeId> nodes(32);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  GroupDirectory dir(nodes, 8);
+  EXPECT_EQ(dir.group_count(), 4u);
+  std::size_t total = 0;
+  for (GroupId g = 0; g < 4; ++g) {
+    EXPECT_EQ(dir.members(g).size(), 8u);
+    total += dir.members(g).size();
+  }
+  EXPECT_EQ(total, 32u);
+  for (net::NodeId n : nodes) {
+    const GroupId g = dir.group_of(n);
+    const auto& members = dir.members(g);
+    EXPECT_NE(std::find(members.begin(), members.end(), n), members.end());
+  }
+}
+
+TEST(GroupDirectoryTest, MoveNode) {
+  std::vector<net::NodeId> nodes{0, 1, 2, 3};
+  GroupDirectory dir(nodes, 2);
+  const GroupId from = dir.group_of(3);
+  const GroupId to = from == 0 ? 1 : 0;
+  dir.move_node(3, to);
+  EXPECT_EQ(dir.group_of(3), to);
+  EXPECT_EQ(dir.members(to).size(), 3u);
+  EXPECT_EQ(dir.members(from).size(), 1u);
+}
+
+TEST(GroupDirectoryTest, RegroupPullsFromRichestGroup) {
+  std::vector<net::NodeId> nodes{0, 1, 2, 3, 4, 5};
+  GroupDirectory dir(nodes, 2);  // 3 groups of 2
+  // Group of node 1 has lots of free memory.
+  auto free_of = [](net::NodeId n) -> std::uint64_t {
+    return n == 1 || n == 4 ? 100 * MiB : 1 * MiB;
+  };
+  const GroupId starved = dir.group_of(0) ;
+  auto moved = dir.regroup_into(starved, free_of);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(dir.group_of(*moved), starved);
+}
+
+TEST(GroupDirectoryTest, RegroupFailsWhenNoDonor) {
+  std::vector<net::NodeId> nodes{0};
+  GroupDirectory dir(nodes, 4);
+  EXPECT_FALSE(dir.regroup_into(0, [](net::NodeId) { return 1ULL; })
+                   .has_value());
+}
+
+// ---- membership + election -------------------------------------------------------
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  ClusterFixture()
+      : fabric_(sim_), connections_(fabric_) {
+    for (net::NodeId id = 0; id < 4; ++id) {
+      cluster::Node::Config config;
+      config.recv.arena_bytes = 4 * MiB;
+      nodes_.push_back(std::make_unique<Node>(sim_, fabric_, connections_, id,
+                                              config));
+    }
+    std::vector<net::NodeId> all{0, 1, 2, 3};
+    for (auto& node : nodes_) node->join_group(0, all);
+    // Pre-establish control channels (the heartbeats need them).
+    for (net::NodeId a = 0; a < 4; ++a) {
+      for (net::NodeId b = 0; b < 4; ++b) {
+        if (a == b) continue;
+        EXPECT_TRUE(connections_.ensure_control_channel(a, b).ok());
+      }
+    }
+  }
+
+  void start_all() {
+    for (auto& node : nodes_) {
+      node->membership().start();
+      node->election()->start();
+    }
+  }
+
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  net::ConnectionManager connections_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(ClusterFixture, HeartbeatsMarkPeersAlive) {
+  start_all();
+  sim_.run_until(2 * kSecond);
+  for (auto& node : nodes_)
+    for (net::NodeId peer : node->membership().peers())
+      EXPECT_TRUE(node->membership().alive(peer));
+}
+
+TEST_F(ClusterFixture, HeartbeatsCarryFreeBytes) {
+  start_all();
+  sim_.run_until(2 * kSecond);
+  // All recv pools are empty, so advertised free == capacity.
+  EXPECT_EQ(nodes_[0]->membership().last_known_free(1),
+            nodes_[1]->donatable_free_bytes());
+}
+
+TEST_F(ClusterFixture, CrashDetectedWithinTimeout) {
+  start_all();
+  sim_.run_until(2 * kSecond);
+  int down_events = 0;
+  nodes_[0]->membership().on_peer_down([&](net::NodeId peer) {
+    EXPECT_EQ(peer, 3u);
+    ++down_events;
+  });
+  fabric_.set_node_up(3, false);
+  sim_.run_until(sim_.now() + 3 * kSecond);
+  EXPECT_FALSE(nodes_[0]->membership().alive(3));
+  EXPECT_EQ(down_events, 1);
+}
+
+TEST_F(ClusterFixture, RecoveryDetected) {
+  start_all();
+  sim_.run_until(2 * kSecond);
+  fabric_.set_node_up(3, false);
+  sim_.run_until(sim_.now() + 3 * kSecond);
+  ASSERT_FALSE(nodes_[0]->membership().alive(3));
+
+  int up_events = 0;
+  nodes_[0]->membership().on_peer_up([&](net::NodeId) { ++up_events; });
+  fabric_.set_node_up(3, true);
+  sim_.run_until(sim_.now() + 3 * kSecond);
+  EXPECT_TRUE(nodes_[0]->membership().alive(3));
+  EXPECT_EQ(up_events, 1);
+}
+
+TEST_F(ClusterFixture, ElectionConvergesToOneLeader) {
+  start_all();
+  sim_.run_until(3 * kSecond);
+  const net::NodeId leader = nodes_[0]->election()->leader();
+  EXPECT_NE(leader, net::kInvalidNode);
+  for (auto& node : nodes_)
+    EXPECT_EQ(node->election()->leader(), leader);
+}
+
+TEST_F(ClusterFixture, LeaderFailureTriggersReelection) {
+  start_all();
+  sim_.run_until(3 * kSecond);
+  const net::NodeId old_leader = nodes_[0]->election()->leader();
+
+  fabric_.set_node_up(old_leader, false);
+  sim_.run_until(sim_.now() + 5 * kSecond);
+
+  for (auto& node : nodes_) {
+    if (node->id() == old_leader) continue;
+    EXPECT_NE(node->election()->leader(), old_leader);
+    EXPECT_NE(node->election()->leader(), net::kInvalidNode);
+  }
+  // Survivors agree.
+  net::NodeId agreed = net::kInvalidNode;
+  for (auto& node : nodes_) {
+    if (node->id() == old_leader) continue;
+    if (agreed == net::kInvalidNode) agreed = node->election()->leader();
+    EXPECT_EQ(node->election()->leader(), agreed);
+  }
+}
+
+TEST_F(ClusterFixture, ElectionPrefersMaxFreeMemory) {
+  // Give node 2 by far the largest donatable pool by draining others.
+  start_all();
+  for (auto& node : nodes_) {
+    if (node->id() == 2) continue;
+    // Consume most of the recv pool so the advertised free drops.
+    while (node->recv_pool().used_bytes() + 64 * KiB <=
+           node->recv_pool().capacity_bytes() / 8)
+      ASSERT_TRUE(node->recv_pool().allocate(65536).ok());
+  }
+  sim_.run_until(5 * kSecond);
+  // Re-run an election now that heartbeats carry the skewed numbers.
+  nodes_[0]->election()->start();
+  sim_.run_until(sim_.now() + 2 * kSecond);
+  EXPECT_EQ(nodes_[0]->election()->leader(), 2u);
+}
+
+// ---- virtual server / node -------------------------------------------------------
+
+TEST_F(ClusterFixture, ServerDonationFlowsIntoPool) {
+  auto& server = nodes_[0]->add_server(1, ServerKind::kVm, 100 * MiB, 0.10);
+  EXPECT_EQ(server.donated_bytes(), 10 * MiB);
+  EXPECT_EQ(server.resident_budget(), 90 * MiB);
+  EXPECT_EQ(nodes_[0]->shm().donation_of(1), 10 * MiB);
+
+  ASSERT_TRUE(nodes_[0]->set_server_donation(1, 0.40).ok());
+  EXPECT_EQ(nodes_[0]->shm().donation_of(1), 40 * MiB);
+}
+
+TEST_F(ClusterFixture, DonationShrinkFailsWhenPoolHoldsData) {
+  nodes_[0]->add_server(1, ServerKind::kContainer, 1 * MiB, 0.10);
+  std::vector<std::byte> data(4096, std::byte{1});
+  ASSERT_TRUE(nodes_[0]->shm().put(1, 7, data).ok());
+  EXPECT_FALSE(nodes_[0]->set_server_donation(1, 0.0).ok());
+  // The failed attempt must not corrupt the server's fraction.
+  EXPECT_DOUBLE_EQ(nodes_[0]->find_server(1)->donation_fraction(), 0.10);
+}
+
+}  // namespace
+}  // namespace dm::cluster

@@ -1,0 +1,199 @@
+// Tests for the LZ compressor and the multi-granularity page compressor,
+// including property-style round-trip sweeps over content classes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "common/rng.h"
+#include "compress/lz.h"
+#include "compress/page_compressor.h"
+#include "workloads/page_content.h"
+
+namespace dm::compress {
+namespace {
+
+TEST(LzTest, EmptyInput) {
+  auto compressed = lz_compress({});
+  EXPECT_TRUE(compressed.empty());
+  EXPECT_TRUE(lz_decompress(compressed, {}).ok());
+}
+
+TEST(LzTest, AllZerosCompressesHard) {
+  std::vector<std::byte> input(4096, std::byte{0});
+  auto compressed = lz_compress(input);
+  EXPECT_LT(compressed.size(), 600u);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(lz_decompress(compressed, out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, RandomDataDoesNotExplode) {
+  Rng rng(5);
+  std::vector<std::byte> input(4096);
+  for (auto& b : input) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  auto compressed = lz_compress(input);
+  EXPECT_LE(compressed.size(), lz_max_compressed_size(input.size()));
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(lz_decompress(compressed, out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, RepeatedTextCompresses) {
+  std::string text;
+  while (text.size() < 4096)
+    text += "the quick brown fox jumps over the lazy dog. ";
+  text.resize(4096);
+  std::vector<std::byte> input(4096);
+  std::memcpy(input.data(), text.data(), 4096);
+  auto compressed = lz_compress(input);
+  EXPECT_LT(compressed.size(), 2048u);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(lz_decompress(compressed, out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, TruncatedStreamDetected) {
+  std::vector<std::byte> input(4096, std::byte{0});
+  auto compressed = lz_compress(input);
+  compressed.resize(compressed.size() / 2);
+  std::vector<std::byte> out(4096);
+  EXPECT_EQ(lz_decompress(compressed, out).code(), StatusCode::kDataLoss);
+}
+
+TEST(LzTest, GarbageStreamDoesNotCrash) {
+  Rng rng(77);
+  std::vector<std::byte> garbage(512);
+  for (auto& b : garbage) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  std::vector<std::byte> out(4096);
+  // Must either succeed (valid by chance) or fail cleanly — never UB.
+  (void)lz_decompress(garbage, out);
+}
+
+// Property sweep: round-trip over (random_fraction, size) grid.
+class LzRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(LzRoundTrip, RoundTripsExactly) {
+  const auto [random_fraction, size] = GetParam();
+  for (std::uint64_t page = 0; page < 16; ++page) {
+    std::vector<std::byte> input(size);
+    workloads::fill_page(input, page, random_fraction, /*seed=*/99);
+    auto compressed = lz_compress(input);
+    std::vector<std::byte> out(size);
+    ASSERT_TRUE(lz_decompress(compressed, out).ok());
+    ASSERT_EQ(out, input) << "r=" << random_fraction << " size=" << size
+                          << " page=" << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContentGrid, LzRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(1u, 100u, 512u, 4096u, 16384u)));
+
+TEST(LzTest, MoreRandomContentCompressesWorse) {
+  std::size_t prev = 0;
+  for (double r : {0.0, 0.3, 0.6, 1.0}) {
+    std::size_t total = 0;
+    for (std::uint64_t page = 0; page < 8; ++page) {
+      std::vector<std::byte> input(4096);
+      workloads::fill_page(input, page, r, 1);
+      total += lz_compress(input).size();
+    }
+    EXPECT_GT(total, prev) << "r=" << r;
+    prev = total;
+  }
+}
+
+// ---- page compressor ---------------------------------------------------------
+
+TEST(PageCompressorTest, BucketsAscend) {
+  auto two = buckets_for(GranularityMode::kTwo);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], 2048u);
+  auto four = buckets_for(GranularityMode::kFour);
+  ASSERT_EQ(four.size(), 4u);
+  EXPECT_EQ(four[0], 512u);
+}
+
+TEST(PageCompressorTest, HighlyCompressibleLandsInSmallBucket) {
+  PageCompressor pc(GranularityMode::kFour);
+  std::vector<std::byte> page(kPageSize, std::byte{7});
+  auto cp = pc.compress(page);
+  EXPECT_FALSE(cp.is_raw);
+  EXPECT_EQ(cp.bucket, 512u);
+  EXPECT_DOUBLE_EQ(cp.ratio(), 8.0);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(pc.decompress(cp, out).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(PageCompressorTest, IncompressibleFallsBackToRaw) {
+  PageCompressor pc(GranularityMode::kFour);
+  Rng rng(3);
+  std::vector<std::byte> page(kPageSize);
+  for (auto& b : page) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  auto cp = pc.compress(page);
+  EXPECT_TRUE(cp.is_raw);
+  EXPECT_EQ(cp.bucket, kPageSize);
+  EXPECT_DOUBLE_EQ(cp.ratio(), 1.0);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(pc.decompress(cp, out).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(PageCompressorTest, FourGranularityNeverWorseThanTwo) {
+  PageCompressor two(GranularityMode::kTwo);
+  PageCompressor four(GranularityMode::kFour);
+  for (double r : {0.05, 0.2, 0.4, 0.6}) {
+    for (std::uint64_t page = 0; page < 8; ++page) {
+      std::vector<std::byte> bytes(kPageSize);
+      workloads::fill_page(bytes, page, r, 17);
+      EXPECT_LE(four.compress(bytes).bucket, two.compress(bytes).bucket);
+    }
+  }
+}
+
+TEST(PageCompressorTest, DecompressRejectsWrongOutputSize) {
+  PageCompressor pc;
+  std::vector<std::byte> page(kPageSize, std::byte{1});
+  auto cp = pc.compress(page);
+  std::vector<std::byte> small(100);
+  EXPECT_EQ(pc.decompress(cp, small).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ZswapTest, ZbudCapsEffectiveRatioAtTwo) {
+  // Even a 10:1-compressible page only saves half a frame under zbud.
+  EXPECT_EQ(zswap_zbud_footprint(400), kPageSize / 2);
+  EXPECT_EQ(zswap_zbud_footprint(2048), kPageSize / 2);
+  EXPECT_EQ(zswap_zbud_footprint(2049), kPageSize);
+  EXPECT_EQ(zswap_zbud_footprint(4096), kPageSize);
+}
+
+// Round-trip property across both modes and content classes.
+class PageRoundTrip
+    : public ::testing::TestWithParam<std::tuple<GranularityMode, double>> {};
+
+TEST_P(PageRoundTrip, RoundTripsExactly) {
+  const auto [mode, r] = GetParam();
+  PageCompressor pc(mode);
+  for (std::uint64_t page = 0; page < 32; ++page) {
+    std::vector<std::byte> bytes(kPageSize);
+    workloads::fill_page(bytes, page, r, 23);
+    auto cp = pc.compress(bytes);
+    std::vector<std::byte> out(kPageSize);
+    ASSERT_TRUE(pc.decompress(cp, out).ok());
+    ASSERT_EQ(out, bytes);
+    EXPECT_GE(cp.ratio(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndContent, PageRoundTrip,
+    ::testing::Combine(::testing::Values(GranularityMode::kTwo,
+                                         GranularityMode::kFour),
+                       ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0)));
+
+}  // namespace
+}  // namespace dm::compress

@@ -1,0 +1,195 @@
+// Model-based randomized tests: drive a component with a random operation
+// stream and check every observable against a simple reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "mem/buffer_pool.h"
+#include "mem/memory_map.h"
+#include "mem/shared_memory_pool.h"
+#include "net/fabric.h"
+
+namespace dm::mem {
+namespace {
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return v;
+}
+
+// MemoryMap vs std::unordered_map reference, including replica queries.
+TEST(MemoryMapModelTest, MatchesReferenceOverRandomOps) {
+  Rng rng(101);
+  MemoryMap map(8);
+  std::unordered_map<EntryId, EntryLocation> reference;
+
+  auto random_location = [&]() {
+    EntryLocation loc;
+    const int tier = static_cast<int>(rng.next_below(3));
+    loc.tier = static_cast<Tier>(tier);
+    loc.logical_size = 4096;
+    loc.stored_size = static_cast<std::uint32_t>(rng.uniform(1, 4096));
+    loc.checksum = rng.next_u64();
+    if (loc.tier == Tier::kRemote) {
+      const std::size_t replicas = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < replicas; ++i)
+        loc.replicas.push_back(
+            {static_cast<net::NodeId>(rng.next_below(6)), rng.next_u64(),
+             rng.next_below(1 << 20), 0, 4096});
+    } else if (loc.tier == Tier::kDisk) {
+      loc.disk_offset = rng.next_below(1 << 24);
+    }
+    return loc;
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const EntryId id = rng.next_below(300);
+    switch (rng.next_below(4)) {
+      case 0: {  // commit
+        auto loc = random_location();
+        map.commit(id, loc);
+        reference[id] = loc;
+        break;
+      }
+      case 1: {  // lookup
+        auto got = map.lookup(id);
+        auto ref = reference.find(id);
+        ASSERT_EQ(got.ok(), ref != reference.end());
+        if (got.ok()) {
+          ASSERT_EQ(got->tier, ref->second.tier);
+          ASSERT_EQ(got->stored_size, ref->second.stored_size);
+          ASSERT_EQ(got->checksum, ref->second.checksum);
+          ASSERT_EQ(got->replicas, ref->second.replicas);
+        }
+        break;
+      }
+      case 2: {  // remove
+        const bool existed = reference.erase(id) > 0;
+        ASSERT_EQ(map.remove(id).ok(), existed);
+        break;
+      }
+      case 3: {  // replica query against reference scan
+        const auto node = static_cast<net::NodeId>(rng.next_below(6));
+        auto got = map.entries_with_replica_on(node);
+        std::size_t expect = 0;
+        for (const auto& [rid, loc] : reference) {
+          if (loc.tier != Tier::kRemote) continue;
+          for (const auto& replica : loc.replicas)
+            if (replica.node == node) {
+              ++expect;
+              break;
+            }
+        }
+        ASSERT_EQ(got.size(), expect);
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+}
+
+// SharedMemoryPool vs a byte-accurate reference.
+TEST(SharedPoolModelTest, MatchesReferenceOverRandomOps) {
+  Rng rng(202);
+  SharedMemoryPool pool({.arena_bytes = 2 * MiB, .slab = {}});
+  ASSERT_TRUE(pool.set_donation(1, 1 * MiB).ok());
+  ASSERT_TRUE(pool.set_donation(2, 512 * KiB).ok());
+
+  std::map<std::pair<ServerId, EntryId>, std::vector<std::byte>> reference;
+
+  for (int step = 0; step < 8000; ++step) {
+    const ServerId owner = 1 + static_cast<ServerId>(rng.next_below(2));
+    const EntryId id = rng.next_below(200);
+    const auto key = std::pair{owner, id};
+    switch (rng.next_below(3)) {
+      case 0: {  // put
+        auto data = random_bytes(rng, 1 + rng.next_below(4096));
+        Status s = pool.put(owner, id, data);
+        if (reference.count(key) > 0) {
+          ASSERT_EQ(s.code(), StatusCode::kAlreadyExists);
+        } else if (s.ok()) {
+          reference[key] = std::move(data);
+        }
+        break;
+      }
+      case 1: {  // get
+        auto ref = reference.find(key);
+        std::vector<std::byte> out(4096);
+        Status s = pool.get(owner, id, out);
+        ASSERT_EQ(s.ok(), ref != reference.end());
+        if (s.ok()) {
+          ASSERT_TRUE(std::equal(ref->second.begin(), ref->second.end(),
+                                 out.begin()));
+        }
+        break;
+      }
+      case 2: {  // remove
+        const bool existed = reference.erase(key) > 0;
+        ASSERT_EQ(pool.remove(owner, id).ok(), existed);
+        break;
+      }
+    }
+    ASSERT_EQ(pool.entry_count(), reference.size());
+  }
+
+  // Drain through LRU eviction: every eviction must return exact bytes.
+  while (pool.entry_count() > 0) {
+    ServerId owner = 0;
+    EntryId id = 0;
+    auto bytes = pool.evict_lru(&owner, &id);
+    ASSERT_TRUE(bytes.ok());
+    auto ref = reference.find({owner, id});
+    ASSERT_NE(ref, reference.end());
+    ASSERT_EQ(*bytes, ref->second);
+    reference.erase(ref);
+  }
+}
+
+// RegisteredBufferPool invariants under random churn: no block overlap, all
+// registered bytes tracked, slab counts consistent with the fabric.
+TEST(BufferPoolModelTest, NoOverlapAndConsistentRegistration) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim);
+  fabric.add_node(0);
+  RegisteredBufferPool pool(
+      fabric, 0, {.arena_bytes = 2 * MiB, .slab_bytes = 128 * KiB});
+  Rng rng(303);
+
+  struct Live {
+    BlockRef ref;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 6000; ++step) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      auto block = pool.allocate(
+          static_cast<std::uint32_t>(512u << rng.next_below(4)));
+      if (!block.ok()) continue;
+      // No overlap with any live block in the same slab.
+      for (const auto& other : live) {
+        if (other.ref.slab != block->slab) continue;
+        const bool disjoint =
+            block->offset + block->size <= other.ref.offset ||
+            other.ref.offset + other.ref.size <= block->offset;
+        ASSERT_TRUE(disjoint);
+      }
+      live.push_back({*block});
+    } else {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      ASSERT_TRUE(pool.free(live[idx].ref).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(pool.registered_bytes(),
+              fabric.registered_bytes(0));
+    ASSERT_EQ(pool.active_slabs(), fabric.registered_region_count(0));
+  }
+  for (const auto& block : live) ASSERT_TRUE(pool.free(block.ref).ok());
+  EXPECT_EQ(pool.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dm::mem

@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event simulator and failure injector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/failure_injector.h"
+#include "sim/latency_model.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace dm::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CallbackMaySchedule) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.schedule_after(5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(SimulatorTest, RunUntilFlagStopsOnFlag) {
+  Simulator sim;
+  bool flag = false;
+  sim.schedule_at(10, [&] { flag = true; });
+  sim.schedule_at(1000, [] {});
+  EXPECT_TRUE(sim.run_until_flag(flag));
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(SimulatorTest, RunUntilFlagReportsDryQueue) {
+  Simulator sim;
+  bool flag = false;
+  sim.schedule_at(10, [] {});
+  EXPECT_FALSE(sim.run_until_flag(flag));
+}
+
+TEST(SimulatorTest, RunUntilFlagHonorsDeadline) {
+  Simulator sim;
+  bool flag = false;
+  // Self-perpetuating ticker that never sets the flag.
+  std::function<void()> tick = [&] { sim.schedule_after(10, tick); };
+  sim.schedule_after(10, tick);
+  EXPECT_FALSE(sim.run_until_flag(flag, 500));
+  EXPECT_GT(sim.now(), 400);
+}
+
+TEST(SimulatorTest, AdvanceMovesClockWithoutEvents) {
+  Simulator sim;
+  sim.advance(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, LateEventDoesNotRewindClock) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(10, [&] { seen = sim.now(); });
+  sim.advance(50);  // clock passes the queued event
+  sim.run();
+  EXPECT_EQ(seen, 50);  // fired late, not in the past
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+// ---- latency model -----------------------------------------------------------
+
+TEST(LatencyModelTest, CostScalesWithBytes) {
+  CostModel rdma{1500, 6.0};
+  const SimTime small = rdma.cost(64);
+  const SimTime page = rdma.cost(4096);
+  EXPECT_GT(page, small);
+  EXPECT_GE(small, 1500);
+}
+
+TEST(LatencyModelTest, TierOrderingHolds) {
+  LatencyModel m;
+  const SimTime shm = m.shared_memory.cost(4096);
+  const SimTime rdma = m.rdma.cost(4096);
+  const SimTime disk = m.disk.seek_ns + m.disk.transfer(4096);
+  EXPECT_LT(shm, rdma);
+  EXPECT_LT(rdma, disk);
+  // Paper-scale gaps: shm is ~an order of magnitude under RDMA, RDMA is
+  // orders of magnitude under a random disk access.
+  EXPECT_GT(rdma / shm, 3);
+  EXPECT_GT(disk / rdma, 500);
+}
+
+TEST(LatencyModelTest, BatchingAmortizesOverhead) {
+  LatencyModel m;
+  // One 32 KiB message vs eight 4 KiB messages.
+  const SimTime batched = m.rdma.cost(8 * 4096);
+  const SimTime individual = 8 * m.rdma.cost(4096);
+  EXPECT_LT(batched, individual);
+}
+
+// ---- failure injector -----------------------------------------------------------
+
+TEST(FailureInjectorTest, OneShotFires) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  bool fired = false;
+  inject.at(100, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(FailureInjectorTest, OutageFailsThenRepairs) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  std::vector<std::pair<SimTime, bool>> events;
+  inject.outage(100, 50, [&] { events.emplace_back(sim.now(), false); },
+                [&] { events.emplace_back(sim.now(), true); });
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<SimTime, bool>{100, false}));
+  EXPECT_EQ(events[1], (std::pair<SimTime, bool>{150, true}));
+}
+
+TEST(FailureInjectorTest, PoissonProducesEventsInWindow) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  Rng rng(3);
+  int count = 0;
+  SimTime last = 0;
+  inject.poisson(rng, 0, 100000, 1000, [&] {
+    ++count;
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+  });
+  sim.run();
+  // Mean interval 1000 over 100000 window: expect ~100 events.
+  EXPECT_GT(count, 50);
+  EXPECT_LT(count, 200);
+  EXPECT_LT(last, 100000);
+}
+
+// ---- tracer ---------------------------------------------------------------
+
+TEST(TracerTest, RecordsAndFormats) {
+  Tracer tracer(8);
+  tracer.record(1500, "fabric.write", "node0 -> node1, 4096B");
+  tracer.record(3000, "fabric.read", "node0 <- node2, 512B");
+  EXPECT_EQ(tracer.size(), 2u);
+  auto recent = tracer.recent(10);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].category, "fabric.write");
+  EXPECT_EQ(recent[1].at, 3000);
+  const std::string text = tracer.to_string();
+  EXPECT_NE(text.find("fabric.write"), std::string::npos);
+  EXPECT_NE(text.find("4096B"), std::string::npos);
+}
+
+TEST(TracerTest, RingDropsOldest) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i)
+    tracer.record(i, "cat", std::to_string(i));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  auto recent = tracer.recent(4);
+  EXPECT_EQ(recent.front().detail, "6");
+  EXPECT_EQ(recent.back().detail, "9");
+}
+
+TEST(TracerTest, FilterByCategory) {
+  Tracer tracer;
+  tracer.record(1, "a", "x");
+  tracer.record(2, "b", "y");
+  tracer.record(3, "a", "z");
+  auto only_a = tracer.by_category("a");
+  ASSERT_EQ(only_a.size(), 2u);
+  EXPECT_EQ(only_a[1].detail, "z");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dm::sim

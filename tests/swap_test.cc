@@ -1,0 +1,332 @@
+// Tests for the swap layer: resident-set management, batching, PBS,
+// compression integration, baseline behaviours, and page integrity.
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+#include "core/dm_system.h"
+#include "swap/swap_manager.h"
+#include "swap/systems.h"
+#include "swap/zswap_cache.h"
+#include "workloads/page_content.h"
+
+namespace dm::swap {
+namespace {
+
+struct Rig {
+  explicit Rig(SystemSetup setup, std::size_t nodes = 4,
+               double content_random = 0.3)
+      : setup(std::move(setup)) {
+    core::DmSystem::Config config;
+    config.node_count = nodes;
+    config.node.shm.arena_bytes = 16 * MiB;
+    config.node.recv.arena_bytes = 16 * MiB;
+    config.node.disk.capacity_bytes = 128 * MiB;
+    config.service = this->setup.service;
+    system = std::make_unique<core::DmSystem>(config);
+    system->start();
+    client = &system->create_server(0, 64 * MiB, this->setup.ldmc);
+    const double r = content_random;
+    manager = std::make_unique<SwapManager>(
+        *client, this->setup.swap,
+        [r](std::uint64_t page, std::span<std::byte> out) {
+          workloads::fill_page(out, page, r, 11);
+        });
+  }
+
+  SystemSetup setup;
+  std::unique_ptr<core::DmSystem> system;
+  core::Ldmc* client = nullptr;
+  std::unique_ptr<SwapManager> manager;
+};
+
+std::uint64_t expected_checksum(std::uint64_t page, double r = 0.3) {
+  std::vector<std::byte> bytes(kPageBytes);
+  workloads::fill_page(bytes, page, r, 11);
+  return fnv1a(bytes);
+}
+
+TEST(SwapManagerTest, ResidentHitsDoNotFault) {
+  Rig rig(make_system(SystemKind::kFastSwap, 64));
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  const std::uint64_t cold = rig.manager->faults();
+  EXPECT_EQ(cold, 32u);
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  EXPECT_EQ(rig.manager->faults(), cold);  // all hits
+}
+
+TEST(SwapManagerTest, ExceedingResidencySwapsOutLru) {
+  Rig rig(make_system(SystemKind::kFastSwap, 16));
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  EXPECT_LE(rig.manager->resident_count(), 16u);
+  EXPECT_GT(rig.manager->swap_outs(), 0u);
+  // Oldest pages got evicted.
+  EXPECT_FALSE(rig.manager->is_resident(0));
+  EXPECT_TRUE(rig.manager->is_resident(31));
+}
+
+TEST(SwapManagerTest, SwappedPageComesBackIntact) {
+  Rig rig(make_system(SystemKind::kFastSwap, 16));
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  // Page 0 was swapped out; touch it again and verify contents.
+  ASSERT_FALSE(rig.manager->is_resident(0));
+  ASSERT_TRUE(rig.manager->touch(0).ok());
+  auto bytes = rig.manager->resident_bytes(0);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(fnv1a(*bytes), expected_checksum(0));
+}
+
+TEST(SwapManagerTest, PbsRestoresWholeBatch) {
+  auto setup = make_system(SystemKind::kFastSwap, 16);
+  setup.swap.batch_pages = 8;
+  Rig rig(setup);
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  // Pages 0..15 are out (in two batches of 8). One fault on page 0 must
+  // bring its whole batch resident.
+  const std::uint64_t ins_before = rig.manager->swap_ins();
+  ASSERT_TRUE(rig.manager->touch(0).ok());
+  EXPECT_EQ(rig.manager->swap_ins() - ins_before, 8u);
+  EXPECT_EQ(rig.manager->metrics().counter_value("swap.pbs_batch_ins"), 1u);
+}
+
+TEST(SwapManagerTest, NoPbsRestoresSinglePage) {
+  auto setup = make_system(SystemKind::kFastSwapNoPbs, 16);
+  Rig rig(setup);
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  const std::uint64_t ins_before = rig.manager->swap_ins();
+  ASSERT_TRUE(rig.manager->touch(0).ok());
+  EXPECT_EQ(rig.manager->swap_ins() - ins_before, 1u);
+}
+
+TEST(SwapManagerTest, BatchingReducesMessages) {
+  auto batched = make_system(SystemKind::kFastSwap, 16);
+  batched.ldmc.shm_fraction = 0.0;  // force RDMA so messages are visible
+  batched.swap.compression = CompressionMode::kOff;
+  Rig rig_batched(batched);
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig_batched.manager->touch(p).ok());
+  const auto batched_msgs =
+      rig_batched.system->fabric().metrics().counter_value("fabric.writes");
+
+  auto per_page = batched;
+  per_page.swap.batch_pages = 1;
+  Rig rig_single(per_page);
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig_single.manager->touch(p).ok());
+  const auto single_msgs =
+      rig_single.system->fabric().metrics().counter_value("fabric.writes");
+
+  EXPECT_LT(batched_msgs, single_msgs / 2);
+}
+
+TEST(SwapManagerTest, CompressionShrinksStoredBytes) {
+  auto compressed = make_system(SystemKind::kFastSwap, 16);
+  Rig rig_c(compressed, 4, /*content_random=*/0.1);
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig_c.manager->touch(p).ok());
+  const auto logical =
+      rig_c.manager->metrics().counter_value("swap.logical_bytes");
+  const auto stored =
+      rig_c.manager->metrics().counter_value("swap.compressed_bytes");
+  ASSERT_GT(logical, 0u);
+  EXPECT_LT(stored, logical / 2);  // highly compressible content
+}
+
+TEST(SwapManagerTest, LinuxBaselineNeverTouchesFabricOrShm) {
+  Rig rig(make_system(SystemKind::kLinux, 16), 2);
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  ASSERT_TRUE(rig.manager->touch(0).ok());  // swap-in from disk
+  EXPECT_EQ(rig.system->fabric().metrics().counter_value("fabric.writes"),
+            0u);
+  EXPECT_EQ(rig.client->puts_to_shm(), 0u);
+  EXPECT_GT(rig.client->puts_to_disk(), 0u);
+  auto bytes = rig.manager->resident_bytes(0);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(fnv1a(*bytes), expected_checksum(0));
+}
+
+TEST(SwapManagerTest, InfiniswapUsesRemoteNotShm) {
+  Rig rig(make_system(SystemKind::kInfiniswap, 16));
+  for (std::uint64_t p = 0; p < 64; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  EXPECT_EQ(rig.client->puts_to_shm(), 0u);
+  EXPECT_GT(rig.client->puts_to_remote(), 0u);
+  EXPECT_GT(rig.manager->metrics().counter_value("swap.backup_writes"), 0u);
+}
+
+TEST(SwapManagerTest, FastSwapFasterThanLinuxUnderPressure) {
+  auto run = [](SystemKind kind) {
+    Rig rig(make_system(kind, 32));
+    auto& sim = rig.system->simulator();
+    const SimTime start = sim.now();
+    // Two passes over a 64-page working set at 50% residency.
+    for (int iter = 0; iter < 2; ++iter)
+      for (std::uint64_t p = 0; p < 64; ++p)
+        EXPECT_TRUE(rig.manager->touch(p).ok());
+    return sim.now() - start;
+  };
+  const SimTime fastswap = run(SystemKind::kFastSwap);
+  const SimTime linux_time = run(SystemKind::kLinux);
+  EXPECT_LT(fastswap * 5, linux_time);  // order-of-magnitude class gap
+}
+
+TEST(SwapManagerTest, FlushAllEvictsEverything) {
+  Rig rig(make_system(SystemKind::kFastSwap, 64));
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  ASSERT_TRUE(rig.manager->flush_all().ok());
+  EXPECT_EQ(rig.manager->resident_count(), 0u);
+  // Everything still retrievable.
+  for (std::uint64_t p = 0; p < 32; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+  auto bytes = rig.manager->resident_bytes(31);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(fnv1a(*bytes), expected_checksum(31));
+}
+
+// Property test: random access traces across all systems keep every page
+// bit-identical to its generator output.
+class SwapIntegrity : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SwapIntegrity, RandomTracePreservesAllPages) {
+  Rig rig(make_system(GetParam(), 24), 4);
+  Rng rng(31337);
+  const std::uint64_t kPages = 96;
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t page = rng.next_below(kPages);
+    ASSERT_TRUE(rig.manager->touch(page, rng.bernoulli(0.2)).ok())
+        << "step " << step;
+    auto bytes = rig.manager->resident_bytes(page);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_EQ(fnv1a(*bytes), expected_checksum(page)) << "page " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SwapIntegrity,
+                         ::testing::Values(SystemKind::kFastSwap,
+                                           SystemKind::kFastSwapNoPbs,
+                                           SystemKind::kInfiniswap,
+                                           SystemKind::kNbdx,
+                                           SystemKind::kLinux,
+                                           SystemKind::kZswap),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---- zswap -----------------------------------------------------------------
+
+TEST(ZswapCacheTest, PutTakeRoundTrip) {
+  ZswapCache cache(64 * KiB);
+  std::vector<std::byte> page(kPageBytes);
+  workloads::fill_page(page, 1, 0.1, 5);
+  auto writebacks = cache.put(1, page);
+  ASSERT_TRUE(writebacks.ok());
+  EXPECT_TRUE(writebacks->empty());
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_GT(cache.used_bytes(), 0u);
+
+  std::vector<std::byte> out(kPageBytes);
+  EXPECT_TRUE(cache.take(1, out));
+  EXPECT_EQ(out, page);
+  EXPECT_FALSE(cache.contains(1));  // zswap frees on load
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ZswapCacheTest, IncompressiblePageRejected) {
+  ZswapCache cache(64 * KiB);
+  Rng rng(3);
+  std::vector<std::byte> page(kPageBytes);
+  for (auto& b : page) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  auto writebacks = cache.put(9, page);
+  ASSERT_TRUE(writebacks.ok());
+  ASSERT_EQ(writebacks->size(), 1u);  // bounced straight down-tier
+  EXPECT_EQ((*writebacks)[0].page, 9u);
+  EXPECT_EQ((*writebacks)[0].bytes, page);
+  EXPECT_FALSE(cache.contains(9));
+}
+
+TEST(ZswapCacheTest, PoolPressureWritesBackOldest) {
+  ZswapCache cache(8 * KiB);  // room for ~4 zbud half-frames
+  std::vector<std::byte> page(kPageBytes);
+  std::vector<std::uint64_t> written_back;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    workloads::fill_page(page, p, 0.05, 5);
+    auto writebacks = cache.put(p, page);
+    ASSERT_TRUE(writebacks.ok());
+    for (const auto& wb : *writebacks) written_back.push_back(wb.page);
+  }
+  EXPECT_FALSE(written_back.empty());
+  // Oldest-first order.
+  for (std::size_t i = 1; i < written_back.size(); ++i)
+    EXPECT_LT(written_back[i - 1], written_back[i]);
+  // Written-back bytes are the original raw pages.
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+}
+
+TEST(ZswapCacheTest, InvalidateDropsEntry) {
+  ZswapCache cache(64 * KiB);
+  std::vector<std::byte> page(kPageBytes);
+  workloads::fill_page(page, 1, 0.1, 5);
+  ASSERT_TRUE(cache.put(1, page).ok());
+  cache.invalidate(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ZswapSystemTest, HitsAvoidDiskFaults) {
+  auto setup = make_system(SystemKind::kZswap, 40);
+  Rig rig(setup, 2, /*content_random=*/0.1);
+  // Working set of 64 pages over a resident budget of 32 (40 minus the
+  // 8-page pool): plenty of pressure, compressible content.
+  for (int iter = 0; iter < 3; ++iter)
+    for (std::uint64_t p = 0; p < 64; ++p)
+      ASSERT_TRUE(rig.manager->touch(p).ok());
+  EXPECT_GT(rig.manager->metrics().counter_value("swap.zswap_hits"), 0u);
+}
+
+TEST(ZswapSystemTest, FasterThanLinuxOnCompressibleWorkload) {
+  auto run = [](SystemKind kind) {
+    Rig rig(make_system(kind, 40), 2, /*content_random=*/0.05);
+    auto& sim = rig.system->simulator();
+    const SimTime start = sim.now();
+    for (int iter = 0; iter < 3; ++iter)
+      for (std::uint64_t p = 0; p < 64; ++p)
+        EXPECT_TRUE(rig.manager->touch(p).ok());
+    return sim.now() - start;
+  };
+  EXPECT_LT(run(SystemKind::kZswap), run(SystemKind::kLinux));
+}
+
+TEST(SystemsTest, RatioPresetsNamedCorrectly) {
+  EXPECT_EQ(make_fastswap_ratio(1.0, 10).name, "FS-SM");
+  EXPECT_EQ(make_fastswap_ratio(0.9, 10).name, "FS-9:1");
+  EXPECT_EQ(make_fastswap_ratio(0.7, 10).name, "FS-7:3");
+  EXPECT_EQ(make_fastswap_ratio(0.5, 10).name, "FS-5:5");
+  EXPECT_EQ(make_fastswap_ratio(0.0, 10).name, "FS-RDMA");
+}
+
+TEST(SystemsTest, PresetsEncodePaperSemantics) {
+  auto fastswap = make_system(SystemKind::kFastSwap, 10);
+  EXPECT_TRUE(fastswap.swap.proactive_batch_swap_in);
+  EXPECT_GT(fastswap.swap.batch_pages, 1u);
+
+  auto infiniswap = make_system(SystemKind::kInfiniswap, 10);
+  EXPECT_EQ(infiniswap.ldmc.shm_fraction, 0.0);
+  EXPECT_TRUE(infiniswap.swap.disk_backup);
+  EXPECT_GT(infiniswap.swap.extra_op_overhead, 0);
+
+  auto linux_swap = make_system(SystemKind::kLinux, 10);
+  EXPECT_FALSE(linux_swap.ldmc.allow_remote);
+}
+
+}  // namespace
+}  // namespace dm::swap
