@@ -31,6 +31,7 @@ int main() {
 
   std::map<std::string, std::vector<double>> series;
   std::vector<std::string> order;
+  bench::BenchJson snapshots("fig9_memcached_timeline");
   for (auto kind : {swap::SystemKind::kFastSwap,
                     swap::SystemKind::kFastSwapNoPbs,
                     swap::SystemKind::kInfiniswap}) {
@@ -61,7 +62,12 @@ int main() {
     }
     series[setup.name] = kops;
     order.push_back(setup.name);
+    snapshots.add_system(setup.name, *rig.system);
   }
+  if (snapshots.write())
+    std::printf("\nmetrics snapshot: %s (per-tier latency percentiles in "
+                "node.0.ldms.get_ns.* / node.0.swap.fault_ns.*)\n",
+                snapshots.path().c_str());
 
   std::printf("%8s", "t(ms)");
   for (const auto& name : order) std::printf(" %16s", name.c_str());

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/dm_system.h"
 #include "swap/swap_manager.h"
@@ -56,8 +58,45 @@ inline SwapRig make_swap_rig(const swap::SystemSetup& setup,
   rig.client = &rig.system->create_server(0, options.server_bytes, setup.ldmc);
   rig.manager = std::make_unique<swap::SwapManager>(
       *rig.client, setup.swap, workloads::content_for(app, options.seed));
+  // Fold the swap layer into the cluster hub so snapshots carry
+  // "node.0.swap.*" fault/swap-out latency histograms.
+  rig.system->hub().add("node.0", &rig.manager->metrics());
   return rig;
 }
+
+// Collects one MetricsHub snapshot per system under test and writes them
+// as "BENCH_<name>.json" in the working directory, giving every bench a
+// machine-readable companion to its printed table — including the
+// per-tier latency percentiles ("node.0.ldms.get_ns.<tier>" etc.).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_system(const std::string& name, core::DmSystem& system) {
+    entries_.emplace_back(name, system.hub().snapshot_json());
+  }
+
+  std::string path() const { return "BENCH_" + bench_ + ".json"; }
+
+  bool write() const {
+    FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n\"bench\": \"%s\",\n\"systems\": {\n",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "\"%s\": %s%s", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline void print_header(const char* title, const char* paper_note) {
   std::printf("\n================================================================\n");

@@ -3,13 +3,15 @@
 //   $ ./failover_demo
 //
 // Stores triple-replicated entries across a 5-node group, crashes the most
-// loaded remote host mid-run, and shows (a) reads failing over immediately,
+// loaded remote host mid-run, and shows (a) reads failing over immediately
+// — with the causal trace of one failover printed from the event tracer —
 // (b) the repair machinery restoring the replication factor, and (c) the
 // recovered node rejoining.
 #include <cstdio>
 #include <vector>
 
 #include "core/dm_system.h"
+#include "sim/trace.h"
 #include "workloads/page_content.h"
 
 int main() {
@@ -20,6 +22,8 @@ int main() {
   config.node.recv.arena_bytes = 16 * MiB;
   config.service.rdmc.replication = 3;  // §IV.D triple-replica writes
   core::DmSystem system(config);
+  sim::Tracer tracer(1 << 16);
+  system.set_tracer(&tracer);
   system.start();
 
   core::LdmcOptions remote_only;
@@ -52,8 +56,34 @@ int main() {
   std::printf("crashing node %zu (hosting %zu blocks)...\n", victim, most);
   system.crash_node(victim);
 
-  // Reads keep working immediately (failover to surviving replicas).
+  // One traced read first: pick an entry with a replica on the crashed
+  // node and follow its causal chain through the tracer — the failed READ
+  // against the dead host and the failover READ that serves the data from
+  // a surviving replica, across at least two nodes.
   std::vector<std::byte> out(4096);
+  mem::EntryId victim_entry = 0;
+  client.map().for_each([&](mem::EntryId id, const mem::EntryLocation& loc) {
+    for (const auto& replica : loc.replicas)
+      if (replica.node == system.node(victim).id() &&
+          replica.node == loc.replicas.front().node)
+        victim_entry = id;  // dead host is the *first* read target
+  });
+  const net::TraceId trace = system.node(0).next_trace_id();
+  bool traced_done = false;
+  Status traced_status;
+  client.get(victim_entry, out, [&](const Status& s) {
+    traced_status = s;
+    traced_done = true;
+  }, trace);
+  system.simulator().run_until_flag(traced_done);
+  std::printf("\ntraced failover read of entry %llu (%s, %s):\n%s\n",
+              static_cast<unsigned long long>(victim_entry),
+              net::format_trace_id(trace).c_str(),
+              traced_status.ok() ? "ok" : "failed",
+              sim::Tracer::format(
+                  tracer.matching(net::format_trace_id(trace))).c_str());
+
+  // Reads keep working immediately (failover to surviving replicas).
   int intact = 0;
   for (mem::EntryId id = 0; id < 64; ++id) {
     workloads::fill_page(page, id, 0.4, 99);

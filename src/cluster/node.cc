@@ -1,5 +1,7 @@
 #include "cluster/node.h"
 
+#include "cluster/protocol.h"
+
 namespace dm::cluster {
 
 Node::Node(sim::Simulator& simulator, net::Fabric& fabric,
@@ -16,6 +18,8 @@ Node::Node(sim::Simulator& simulator, net::Fabric& fabric,
       rng_(mix64(config_.rng_seed ^ (0xD15A66ULL + id))) {
   fabric_.add_node(id_);
   connections_.register_endpoint(&rpc_);
+  label_rpc_methods(rpc_);
+  rpc_.set_tracer(fabric_.tracer());
   rpc_.set_channel_repairer([this](net::NodeId peer) {
     return connections_.ensure_control_channel(id_, peer);
   });

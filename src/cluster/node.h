@@ -88,6 +88,12 @@ class Node {
 
   bool up() const { return fabric_.node_up(id_); }
 
+  // Allocates a fresh causal trace id rooted at this node. Deterministic:
+  // a per-node monotonic sequence, no wall clock involved.
+  net::TraceId next_trace_id() noexcept {
+    return net::make_trace_id(id_, ++trace_seq_);
+  }
+
  private:
   sim::Simulator& sim_;
   net::Fabric& fabric_;
@@ -107,6 +113,7 @@ class Node {
   GroupId group_ = 0;
   std::unique_ptr<LeaderElection> election_;
   bool election_listener_registered_ = false;
+  std::uint32_t trace_seq_ = 0;
 };
 
 }  // namespace dm::cluster

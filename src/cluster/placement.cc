@@ -108,6 +108,22 @@ class PowerOfTwoPolicy final : public PlacementPolicy {
 
 }  // namespace
 
+StatusOr<std::vector<net::NodeId>> PlacementPolicy::pick_recorded(
+    std::span<const CandidateNode> candidates, std::size_t count,
+    std::uint64_t size, Rng& rng, MetricsRegistry* metrics) {
+  auto picked = pick(candidates, count, size, rng);
+  if (metrics != nullptr) {
+    ++metrics->counter("placement.decisions");
+    if (!picked.ok()) ++metrics->counter("placement.failures");
+    metrics->histogram("placement.candidates").record(candidates.size());
+    std::uint64_t fit = 0;
+    for (const auto& c : candidates)
+      if (c.free_bytes >= size) ++fit;
+    metrics->histogram("placement.eligible").record(fit);
+  }
+  return picked;
+}
+
 std::string_view to_string(PlacementPolicyKind kind) noexcept {
   switch (kind) {
     case PlacementPolicyKind::kRandom: return "random";

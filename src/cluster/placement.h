@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/types.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -39,6 +40,15 @@ class PlacementPolicy {
   virtual StatusOr<std::vector<net::NodeId>> pick(
       std::span<const CandidateNode> candidates, std::size_t count,
       std::uint64_t size, Rng& rng) = 0;
+
+  // Instrumented pick: same semantics, plus decision accounting into
+  // `metrics` (null = record nothing): "placement.decisions" /
+  // "placement.failures" counters and "placement.candidates" /
+  // "placement.eligible" histograms. Callers on the hot path use this so
+  // observability sees every replica-set decision.
+  StatusOr<std::vector<net::NodeId>> pick_recorded(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng, MetricsRegistry* metrics);
 };
 
 std::unique_ptr<PlacementPolicy> make_placement_policy(

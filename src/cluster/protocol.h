@@ -24,4 +24,18 @@ enum RpcMethodId : net::RpcMethod {
                         // resp: bytes (two-sided fallback read path)
 };
 
+// Registers human-readable labels for every method id above, so the
+// endpoint's "rpc.rtt.<label>" histograms and tracer events name methods
+// instead of raw ids. Called once per endpoint at node construction.
+inline void label_rpc_methods(net::RpcEndpoint& rpc) {
+  rpc.label_method(kRpcHeartbeat, "heartbeat");
+  rpc.label_method(kRpcQueryFree, "query_free");
+  rpc.label_method(kRpcAnnounceLeader, "announce_leader");
+  rpc.label_method(kRpcQueryCandidates, "query_candidates");
+  rpc.label_method(kRpcAllocBlock, "alloc_block");
+  rpc.label_method(kRpcFreeBlock, "free_block");
+  rpc.label_method(kRpcEvictNotice, "evict_notice");
+  rpc.label_method(kRpcReadBlock, "read_block");
+}
+
 }  // namespace dm::cluster

@@ -23,6 +23,11 @@ class Logger {
   LogLevel level() const noexcept { return level_; }
   bool enabled(LogLevel level) const noexcept { return level >= level_; }
 
+  // Redirects output (tests capture into an ostringstream instead of
+  // polluting std::clog). Null restores the default std::clog sink. The
+  // stream is not owned and must outlive the logger's use.
+  void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+
   template <typename... Args>
   void log(LogLevel level, const Args&... args) const {
     if (!enabled(level)) return;
@@ -30,7 +35,7 @@ class Logger {
     os << '[' << level_name(level) << "] " << tag_ << ": ";
     (os << ... << args);
     os << '\n';
-    std::clog << os.str();
+    (sink_ != nullptr ? *sink_ : std::clog) << os.str();
   }
 
   template <typename... Args>
@@ -56,6 +61,7 @@ class Logger {
 
   std::string tag_;
   LogLevel level_;
+  std::ostream* sink_ = nullptr;
 };
 
 }  // namespace dm

@@ -1,5 +1,7 @@
 #include "common/metrics.h"
 
+#include <cstdio>
+
 namespace dm {
 
 std::string MetricsRegistry::to_string() const {
@@ -11,9 +13,15 @@ std::string MetricsRegistry::to_string() const {
     out += '\n';
   }
   for (const auto& [name, hist] : histograms_) {
+    char line[64];
+    std::snprintf(line, sizeof(line), " count=%llu mean=%.3f",
+                  static_cast<unsigned long long>(hist.count()), hist.mean());
     out += name;
-    out += ": ";
-    out += hist.summary_duration();
+    out += ':';
+    out += line;
+    out += " p50=" + std::to_string(hist.p50());
+    out += " p99=" + std::to_string(hist.p99());
+    out += " max=" + std::to_string(hist.max());
     out += '\n';
   }
   return out;

@@ -36,13 +36,18 @@ class MetricsRegistry {
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   void reset() {
     counters_.clear();
     histograms_.clear();
   }
 
-  // "name=value" lines, sorted by name; for debug dumps.
+  // "name=value" lines, sorted by name, then one
+  // "name: count=N mean=M p50=A p99=B max=C" line per histogram (raw
+  // nanosecond values); for debug dumps.
   std::string to_string() const;
 
  private:

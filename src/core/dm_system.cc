@@ -27,6 +27,26 @@ DmSystem::DmSystem(Config config)
   for (auto& node : nodes_)
     services_.push_back(
         std::make_unique<NodeService>(*node, config_.service));
+
+  // Observability: fold every subsystem registry into the hub under
+  // hierarchical names. Metric names already carry their subsystem
+  // ("rpc.rtt.*", "ldms.get_ns.*"), so prefixes are just the location.
+  hub_.add("net", &fabric_->metrics());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::string prefix = "node." + std::to_string(nodes_[i]->id());
+    hub_.add(prefix, &nodes_[i]->rpc().metrics());
+    hub_.add(prefix, &nodes_[i]->shm().metrics());
+    hub_.add(prefix, &nodes_[i]->recv_pool().metrics());
+    hub_.add(prefix, &nodes_[i]->disk().metrics());
+    if (nodes_[i]->nvm() != nullptr)
+      hub_.add(prefix, &nodes_[i]->nvm()->metrics());
+    hub_.add(prefix, &services_[i]->metrics());
+  }
+}
+
+void DmSystem::set_tracer(sim::Tracer* tracer) {
+  fabric_->set_tracer(tracer);
+  for (auto& node : nodes_) node->rpc().set_tracer(tracer);
 }
 
 DmSystem::~DmSystem() = default;
@@ -42,6 +62,7 @@ void DmSystem::start() {
     service->start_eviction_monitor();
     service->start_candidate_refresh();
   }
+  if (config_.scrape_period > 0) hub_.start_scrape(sim_, config_.scrape_period);
   if (config_.regroup_low_watermark > 0.0) {
     // Periodic regroup evaluation (self-rescheduling functor).
     struct Rearm {

@@ -30,6 +30,7 @@
 #include "core/ldmc.h"
 #include "core/node_service.h"
 #include "net/connection_manager.h"
+#include "obs/metrics_hub.h"
 #include "sim/failure_injector.h"
 
 namespace dm::core {
@@ -52,6 +53,10 @@ class DmSystem {
     // the richest group (0 disables).
     double regroup_low_watermark = 0.0;
     SimTime regroup_check_period = 1 * kSecond;
+    // Period of the observability scrape started by start(): the MetricsHub
+    // snapshots the merged cluster metrics every `scrape_period` of virtual
+    // time (0 disables).
+    SimTime scrape_period = 1 * kSecond;
   };
 
   explicit DmSystem(Config config);
@@ -63,6 +68,16 @@ class DmSystem {
   sim::Simulator& simulator() noexcept { return sim_; }
   net::Fabric& fabric() noexcept { return *fabric_; }
   sim::FailureInjector& failures() noexcept { return failures_; }
+
+  // Cluster-wide metrics aggregation: the fabric and every node's RPC
+  // endpoint, service, pools and devices are pre-registered under
+  // "net.*" / "node.<id>.*". Callers add their own layers (swap managers,
+  // caches) under the same naming convention.
+  obs::MetricsHub& hub() noexcept { return hub_; }
+
+  // Attaches an event tracer to the fabric and every node's RPC endpoint,
+  // so causal trace ids are followable across nodes (null detaches).
+  void set_tracer(sim::Tracer* tracer);
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
   cluster::Node& node(std::size_t index) { return *nodes_.at(index); }
@@ -109,6 +124,7 @@ class DmSystem {
   std::unique_ptr<cluster::GroupDirectory> groups_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<NodeService>> services_;
+  obs::MetricsHub hub_;
   void rewire_group(cluster::GroupId group);
 
   cluster::ServerId next_server_ = 1;

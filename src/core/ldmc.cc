@@ -7,19 +7,22 @@ Ldmc::Ldmc(NodeService& service, cluster::ServerId server, Config config)
       map_(config.map_shards) {}
 
 void Ldmc::put(mem::EntryId entry, std::span<const std::byte> data,
-               std::function<void(const Status&)> done) {
+               std::function<void(const Status&)> done, net::TraceId trace) {
+  if (trace == net::kNoTrace) trace = service_.node().next_trace_id();
   if (map_.contains(entry)) {
     // Overwrite = remove + put; the paper's entries (swap pages, cached
     // partitions) are immutable once written, so this path is rare.
-    remove(entry, [this, entry,
-                   payload = std::vector<std::byte>(data.begin(), data.end()),
-                   done = std::move(done)](const Status& removed) mutable {
-      if (!removed.ok()) {
-        done(removed);
-        return;
-      }
-      put(entry, payload, std::move(done));
-    });
+    remove(entry,
+           [this, entry,
+            payload = std::vector<std::byte>(data.begin(), data.end()), trace,
+            done = std::move(done)](const Status& removed) mutable {
+             if (!removed.ok()) {
+               done(removed);
+               return;
+             }
+             put(entry, payload, std::move(done), trace);
+           },
+           trace);
     return;
   }
   // Deterministic ratio routing: spread the shm-first decision evenly over
@@ -50,11 +53,12 @@ void Ldmc::put(mem::EntryId entry, std::span<const std::byte> data,
         }
         map_.commit(entry, *std::move(location));
         done(Status::Ok());
-      });
+      },
+      trace);
 }
 
 void Ldmc::get(mem::EntryId entry, std::span<std::byte> out,
-               std::function<void(const Status&)> done) {
+               std::function<void(const Status&)> done, net::TraceId trace) {
   auto location = map_.lookup(entry);
   if (!location.ok()) {
     done(location.status());
@@ -73,12 +77,14 @@ void Ldmc::get(mem::EntryId entry, std::span<std::byte> out,
           return;
         }
         done(s);
-      });
+      },
+      trace);
 }
 
 void Ldmc::get_range(mem::EntryId entry, std::uint64_t offset,
                      std::span<std::byte> out,
-                     std::function<void(const Status&)> done) {
+                     std::function<void(const Status&)> done,
+                     net::TraceId trace) {
   auto location = map_.lookup(entry);
   if (!location.ok()) {
     done(location.status());
@@ -88,11 +94,13 @@ void Ldmc::get_range(mem::EntryId entry, std::uint64_t offset,
     done(InvalidArgumentError("range past end of stored entry"));
     return;
   }
-  service_.get_entry(server_, entry, *location, offset, out, std::move(done));
+  service_.get_entry(server_, entry, *location, offset, out, std::move(done),
+                     trace);
 }
 
 void Ldmc::remove(mem::EntryId entry,
-                  std::function<void(const Status&)> done) {
+                  std::function<void(const Status&)> done,
+                  net::TraceId trace) {
   auto location = map_.lookup(entry);
   if (!location.ok()) {
     done(location.status());
@@ -103,7 +111,8 @@ void Ldmc::remove(mem::EntryId entry,
       [this, entry, done = std::move(done)](const Status& s) {
         if (s.ok()) (void)map_.remove(entry);
         done(s);
-      });
+      },
+      trace);
 }
 
 StatusOr<std::size_t> Ldmc::stored_size(mem::EntryId entry) const {

@@ -35,16 +35,23 @@ class Ldmc {
   NodeService& service() noexcept { return service_; }
 
   // --- asynchronous API -------------------------------------------------------
+  // `trace` threads the caller's causal chain through every RPC and verb
+  // the operation triggers (kNoTrace = the node service starts a fresh
+  // chain), so a swap fault's journey is followable in the tracer.
   void put(mem::EntryId entry, std::span<const std::byte> data,
-           std::function<void(const Status&)> done);
+           std::function<void(const Status&)> done,
+           net::TraceId trace = net::kNoTrace);
   // Full-entry read of stored bytes (out must be >= stored size).
   void get(mem::EntryId entry, std::span<std::byte> out,
-           std::function<void(const Status&)> done);
+           std::function<void(const Status&)> done,
+           net::TraceId trace = net::kNoTrace);
   // Sub-range read at `offset` within the stored bytes.
   void get_range(mem::EntryId entry, std::uint64_t offset,
                  std::span<std::byte> out,
-                 std::function<void(const Status&)> done);
-  void remove(mem::EntryId entry, std::function<void(const Status&)> done);
+                 std::function<void(const Status&)> done,
+                 net::TraceId trace = net::kNoTrace);
+  void remove(mem::EntryId entry, std::function<void(const Status&)> done,
+              net::TraceId trace = net::kNoTrace);
 
   // --- synchronous wrappers (drive the simulator until completion) ------------
   Status put_sync(mem::EntryId entry, std::span<const std::byte> data);

@@ -54,8 +54,20 @@ Ldmc* NodeService::client(cluster::ServerId server) {
 void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
                             std::span<const std::byte> data, bool prefer_shm,
                             bool allow_remote, bool allow_disk,
-                            PutCallback done) {
+                            PutCallback done, net::TraceId trace) {
   ++dm_requests_window_[server];
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  // Per-tier put latency, keyed by whichever tier finally accepted the
+  // entry (the fallback chain may walk shm -> remote -> disk).
+  const SimTime started = node_.simulator().now();
+  done = [this, started, inner = std::move(done)](
+             StatusOr<mem::EntryLocation> result) {
+    const char* tier =
+        result.ok() ? mem::tier_name(result->tier) : "failed";
+    metrics_.histogram(std::string("ldms.put_ns.") + tier)
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(std::move(result));
+  };
 
   if (prefer_shm) {
     // Iterative shm attempt with bounded LRU spill (§IV.B: the LDMS asks
@@ -68,6 +80,7 @@ void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
       std::size_t spill_budget;
       bool allow_remote;
       bool allow_disk;
+      net::TraceId trace;
       PutCallback done;
 
       void run() {
@@ -105,7 +118,7 @@ void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
       void fall_through() {
         if (allow_remote) {
           self->put_remote(server, entry, payload, allow_disk,
-                           std::move(done));
+                           std::move(done), trace);
         } else if (allow_disk) {
           self->put_device(server, entry, payload, std::move(done));
         } else {
@@ -121,13 +134,14 @@ void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
     attempt->spill_budget = config_.max_spill_per_put;
     attempt->allow_remote = allow_remote;
     attempt->allow_disk = allow_disk;
+    attempt->trace = trace;
     attempt->done = std::move(done);
     attempt->run();
     return;
   }
 
   if (allow_remote) {
-    put_remote(server, entry, data, allow_disk, std::move(done));
+    put_remote(server, entry, data, allow_disk, std::move(done), trace);
   } else if (allow_disk) {
     put_device(server, entry, data, std::move(done));
   } else {
@@ -137,7 +151,7 @@ void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
 
 void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                              std::span<const std::byte> data, bool allow_disk,
-                             PutCallback done) {
+                             PutCallback done, net::TraceId trace) {
   ++remote_puts_window_;
   const auto size = static_cast<std::uint32_t>(data.size());
   // Keep a copy for the disk fallback: rdmc consumes the span immediately,
@@ -163,7 +177,8 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                 return;
               }
               done(replicas.status());
-            });
+            },
+            /*exclude=*/{}, /*count=*/0, trace);
 }
 
 void NodeService::put_device(cluster::ServerId server, mem::EntryId entry,
@@ -315,7 +330,17 @@ void NodeService::spill_one(std::function<void(bool)> done) {
 void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
                             const mem::EntryLocation& location,
                             std::uint64_t offset, std::span<std::byte> out,
-                            DoneCallback done) {
+                            DoneCallback done, net::TraceId trace) {
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  // Per-tier access latency: the paper's core latency story is the gap
+  // between these histograms (DRAM-speed shm vs RDMA vs device).
+  const SimTime started = node_.simulator().now();
+  done = [this, started, tier = location.tier,
+          inner = std::move(done)](const Status& s) {
+    metrics_.histogram(std::string("ldms.get_ns.") + mem::tier_name(tier))
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(s);
+  };
   switch (location.tier) {
     case mem::Tier::kSharedMemory: {
       Status s = node_.shm().get_range(server, entry, offset, out);
@@ -326,7 +351,7 @@ void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
       return;
     }
     case mem::Tier::kRemote:
-      rdmc_.read(location.replicas, offset, out, std::move(done));
+      rdmc_.read(location.replicas, offset, out, std::move(done), trace);
       return;
     case mem::Tier::kNvm:
     case mem::Tier::kDisk: {
@@ -352,7 +377,7 @@ void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
 
 void NodeService::remove_entry(cluster::ServerId server, mem::EntryId entry,
                                const mem::EntryLocation& location,
-                               DoneCallback done) {
+                               DoneCallback done, net::TraceId trace) {
   switch (location.tier) {
     case mem::Tier::kSharedMemory: {
       Status s = node_.shm().remove(server, entry);
@@ -362,7 +387,7 @@ void NodeService::remove_entry(cluster::ServerId server, mem::EntryId entry,
       return;
     }
     case mem::Tier::kRemote:
-      rdmc_.free_replicas(location.replicas, std::move(done));
+      rdmc_.free_replicas(location.replicas, std::move(done), trace);
       return;
     case mem::Tier::kNvm:
       free_nvm(location.disk_offset, location.stored_size);
@@ -651,7 +676,11 @@ void NodeService::eviction_tick() {
       free_fraction < cfg.low_free_watermark && rdms_.active_drains() == 0) {
     if (auto slab = pool.least_loaded_slab()) {
       ++metrics_.counter("eviction.slab_drains");
-      rdms_.drain_slab(*slab, [this](const Status& s) {
+      const SimTime drain_started = node_.simulator().now();
+      rdms_.drain_slab(*slab, [this, drain_started](const Status& s) {
+        metrics_.histogram("eviction.drain_ns")
+            .record(static_cast<std::uint64_t>(node_.simulator().now() -
+                                               drain_started));
         if (!s.ok()) ++metrics_.counter("eviction.drain_failed");
       });
     }

@@ -95,15 +95,22 @@ class NodeService {
 
   // --- LDMS data path (called by Ldmc) ---------------------------------------
   // prefer_shm picks the first tier to try; the fallback chain is
-  // shm -> remote -> disk, gated by the allow_* flags.
+  // shm -> remote -> disk, gated by the allow_* flags. `trace` threads the
+  // caller's causal chain through any control/data-plane traffic the
+  // operation generates (kNoTrace = start a fresh chain). Completion
+  // latency lands in "ldms.put_ns.<tier>" / "ldms.get_ns.<tier>"
+  // histograms keyed by the tier that served the request.
   void put_entry(cluster::ServerId server, mem::EntryId entry,
                  std::span<const std::byte> data, bool prefer_shm,
-                 bool allow_remote, bool allow_disk, PutCallback done);
+                 bool allow_remote, bool allow_disk, PutCallback done,
+                 net::TraceId trace = net::kNoTrace);
   void get_entry(cluster::ServerId server, mem::EntryId entry,
                  const mem::EntryLocation& location, std::uint64_t offset,
-                 std::span<std::byte> out, DoneCallback done);
+                 std::span<std::byte> out, DoneCallback done,
+                 net::TraceId trace = net::kNoTrace);
   void remove_entry(cluster::ServerId server, mem::EntryId entry,
-                    const mem::EntryLocation& location, DoneCallback done);
+                    const mem::EntryLocation& location, DoneCallback done,
+                    net::TraceId trace = net::kNoTrace);
 
   // --- maintenance -----------------------------------------------------------
   // Starts the periodic eviction/ballooning monitor (§IV.F).
@@ -128,7 +135,7 @@ class NodeService {
 
   void put_remote(cluster::ServerId server, mem::EntryId entry,
                   std::span<const std::byte> data, bool allow_disk,
-                  PutCallback done);
+                  PutCallback done, net::TraceId trace = net::kNoTrace);
   // Device tiers: NVM when present (and then disk on failure), else disk.
   void put_device(cluster::ServerId server, mem::EntryId entry,
                   std::span<const std::byte> data, PutCallback done);

@@ -15,11 +15,22 @@ Rdmc::Rdmc(cluster::Node& node, Config config)
 
 void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
                std::span<const std::byte> data, PutCallback done,
-               std::span<const net::NodeId> exclude, std::size_t count) {
+               std::span<const net::NodeId> exclude, std::size_t count,
+               net::TraceId trace) {
   if (!candidates_) {
     done(FailedPreconditionError("no candidates provider bound"));
     return;
   }
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  // End-to-end transaction latency (placement + alloc RPCs + write fan-out),
+  // success and rollback alike.
+  const SimTime started = node_.simulator().now();
+  done = [this, started, inner = std::move(done)](
+             StatusOr<std::vector<mem::RemoteReplica>> result) {
+    node_.recv_pool().metrics().histogram("rdmc.put_ns")
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(std::move(result));
+  };
   if (count == 0) count = config_.replication;
   auto candidates = candidates_();
   // Remove self and excluded nodes.
@@ -27,7 +38,9 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
     if (c.node == node_.id()) return true;
     return std::find(exclude.begin(), exclude.end(), c.node) != exclude.end();
   });
-  auto targets = policy_->pick(candidates, count, data.size(), node_.rng());
+  auto targets = policy_->pick_recorded(candidates, count, data.size(),
+                                        node_.rng(),
+                                        &node_.recv_pool().metrics());
   if (!targets.ok()) {
     ++node_.recv_pool().metrics().counter("rdmc.put_no_candidates");
     done(targets.status());
@@ -48,10 +61,10 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
   tx->pending = targets->size();
   tx->done = std::move(done);
 
-  auto finish_allocs = [this, tx]() {
+  auto finish_allocs = [this, tx, trace]() {
     if (tx->failed) {
       // Roll back whatever was reserved; the caller's map is untouched.
-      free_replicas(std::move(tx->replicas));
+      free_replicas(std::move(tx->replicas), {}, trace);
       tx->done(tx->first_error);
       return;
     }
@@ -60,32 +73,33 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
     for (const auto& replica : tx->replicas) {
       auto qp = node_.connections().ensure_data_channel(node_.id(),
                                                         replica.node);
-      Status posted = !qp.ok() ? qp.status()
-                               : (*qp)->post_write(
-                                     replica.rkey, replica.offset,
-                                     tx->payload,
-                                     [this, tx](const net::Completion& c) {
-                                       if (!c.status.ok() && !tx->failed) {
-                                         tx->failed = true;
-                                         tx->first_error = c.status;
-                                       }
-                                       if (--tx->pending == 0) {
-                                         if (tx->failed) {
-                                           free_replicas(
-                                               std::move(tx->replicas));
-                                           tx->done(tx->first_error);
-                                         } else {
-                                           tx->done(std::move(tx->replicas));
-                                         }
-                                       }
-                                     });
+      Status posted =
+          !qp.ok() ? qp.status()
+                   : (*qp)->post_write(
+                         replica.rkey, replica.offset, tx->payload,
+                         [this, tx, trace](const net::Completion& c) {
+                           if (!c.status.ok() && !tx->failed) {
+                             tx->failed = true;
+                             tx->first_error = c.status;
+                           }
+                           if (--tx->pending == 0) {
+                             if (tx->failed) {
+                               free_replicas(std::move(tx->replicas), {},
+                                             trace);
+                               tx->done(tx->first_error);
+                             } else {
+                               tx->done(std::move(tx->replicas));
+                             }
+                           }
+                         },
+                         trace);
       if (!posted.ok()) {
         if (!tx->failed) {
           tx->failed = true;
           tx->first_error = posted;
         }
         if (--tx->pending == 0) {
-          free_replicas(std::move(tx->replicas));
+          free_replicas(std::move(tx->replicas), {}, trace);
           tx->done(tx->first_error);
         }
       }
@@ -131,26 +145,35 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
             tx->first_error = resp.status();
           }
           if (--tx->pending == 0) finish_allocs();
-        });
+        },
+        trace);
   }
   ++node_.recv_pool().metrics().counter("rdmc.puts");
 }
 
 void Rdmc::read(const std::vector<mem::RemoteReplica>& replicas,
                 std::uint64_t range_offset, std::span<std::byte> out,
-                ReadCallback done) {
+                ReadCallback done, net::TraceId trace) {
   if (replicas.empty()) {
     done(DataLossError("entry has no remote replicas"));
     return;
   }
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  // Whole-read latency including any failover hops.
+  const SimTime started = node_.simulator().now();
+  done = [this, started, inner = std::move(done)](const Status& s) {
+    node_.recv_pool().metrics().histogram("rdmc.read_ns")
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(s);
+  };
   auto ordered = std::make_shared<std::vector<mem::RemoteReplica>>(replicas);
-  read_from(std::move(ordered), 0, range_offset, out, std::move(done));
+  read_from(std::move(ordered), 0, range_offset, out, std::move(done), trace);
 }
 
 void Rdmc::read_from(
     std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
     std::size_t index, std::uint64_t range_offset, std::span<std::byte> out,
-    ReadCallback done) {
+    ReadCallback done, net::TraceId trace) {
   if (index >= replicas->size()) {
     ++node_.recv_pool().metrics().counter("rdmc.read_all_replicas_failed");
     done(DataLossError("all replicas unreachable"));
@@ -159,13 +182,22 @@ void Rdmc::read_from(
   const auto& replica = (*replicas)[index];
   auto qp = node_.connections().ensure_data_channel(node_.id(), replica.node);
   if (!qp.ok()) {
+    // No channel to this replica's host (crashed or unreachable): record
+    // the skipped hop so the causal chain shows the failover, then try
+    // the next replica.
+    if (sim::Tracer* tracer = node_.fabric().tracer())
+      tracer->record(node_.simulator().now(), "rdmc.read_failover",
+                     "node" + std::to_string(node_.id()) +
+                         " skipping dead replica on node" +
+                         std::to_string(replica.node) + " " +
+                         net::format_trace_id(trace));
     read_from(std::move(replicas), index + 1, range_offset, out,
-              std::move(done));
+              std::move(done), trace);
     return;
   }
   Status posted = (*qp)->post_read(
       replica.rkey, replica.offset + range_offset, out,
-      [this, replicas, index, range_offset, out,
+      [this, replicas, index, range_offset, out, trace,
        done = std::move(done)](const net::Completion& c) mutable {
         if (c.status.ok()) {
           done(Status::Ok());
@@ -173,15 +205,16 @@ void Rdmc::read_from(
         }
         ++node_.recv_pool().metrics().counter("rdmc.read_failovers");
         read_from(std::move(replicas), index + 1, range_offset, out,
-                  std::move(done));
-      });
+                  std::move(done), trace);
+      },
+      trace);
   if (!posted.ok())
     read_from(std::move(replicas), index + 1, range_offset, out,
-              std::move(done));
+              std::move(done), trace);
 }
 
 void Rdmc::free_replicas(std::vector<mem::RemoteReplica> replicas,
-                         DoneCallback done) {
+                         DoneCallback done, net::TraceId trace) {
   if (replicas.empty()) {
     if (done) done(Status::Ok());
     return;
@@ -205,7 +238,8 @@ void Rdmc::free_replicas(std::vector<mem::RemoteReplica> replicas,
                          state->first_error = resp.status();
                        if (--state->pending == 0 && state->done)
                          state->done(state->first_error);
-                     });
+                     },
+                     trace);
   }
 }
 

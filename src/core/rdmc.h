@@ -54,26 +54,31 @@ class Rdmc {
   // Replicated put; `exclude` removes nodes from candidacy (used when
   // migrating an entry *away* from a node). `count` overrides the number of
   // replicas written (0 = the configured replication factor) — repair paths
-  // top up a degraded entry with exactly one fresh replica.
+  // top up a degraded entry with exactly one fresh replica. `trace` joins
+  // the alloc RPCs and data-plane writes to the caller's causal chain
+  // (kNoTrace = start a fresh chain at this node).
   void put(cluster::ServerId server, mem::EntryId entry,
            std::span<const std::byte> data, PutCallback done,
-           std::span<const net::NodeId> exclude = {}, std::size_t count = 0);
+           std::span<const net::NodeId> exclude = {}, std::size_t count = 0,
+           net::TraceId trace = net::kNoTrace);
 
   // Reads out.size() bytes at `range_offset` within the entry, failing over
   // across replicas in order.
   void read(const std::vector<mem::RemoteReplica>& replicas,
             std::uint64_t range_offset, std::span<std::byte> out,
-            ReadCallback done);
+            ReadCallback done, net::TraceId trace = net::kNoTrace);
 
   // Frees all replica blocks (best effort on dead hosts); done fires after
   // every free settles.
   void free_replicas(std::vector<mem::RemoteReplica> replicas,
-                     DoneCallback done = {});
+                     DoneCallback done = {},
+                     net::TraceId trace = net::kNoTrace);
 
  private:
   void read_from(std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
                  std::size_t index, std::uint64_t range_offset,
-                 std::span<std::byte> out, ReadCallback done);
+                 std::span<std::byte> out, ReadCallback done,
+                 net::TraceId trace);
 
   cluster::Node& node_;
   Config config_;

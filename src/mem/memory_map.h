@@ -34,6 +34,17 @@ enum class Tier : std::uint8_t {
   kNvm = 3,           // local non-volatile memory tier (§VI), when present
 };
 
+// Short tier label used in metric names ("ldms.get_ns.<tier>") and dumps.
+inline const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kSharedMemory: return "shm";
+    case Tier::kRemote: return "remote";
+    case Tier::kDisk: return "disk";
+    case Tier::kNvm: return "nvm";
+  }
+  return "?";
+}
+
 struct RemoteReplica {
   net::NodeId node = net::kInvalidNode;
   net::RKey rkey = net::kInvalidRKey;

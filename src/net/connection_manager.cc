@@ -13,9 +13,15 @@ Status ConnectionManager::establish(NodeId a, NodeId b, ChannelPair& out) {
     return FailedPreconditionError("peer endpoint not registered");
 
   auto data = fabric_.connect(a, b);
-  if (!data.ok()) return data.status();
+  if (!data.ok()) {
+    log_.info("establish ", a, "<->", b,
+              " failed (data channel): ", data.status().to_string());
+    return data.status();
+  }
   auto control = fabric_.connect(a, b);
   if (!control.ok()) {
+    log_.info("establish ", a, "<->", b,
+              " failed (control channel): ", control.status().to_string());
     fabric_.destroy_connection(*data);
     return control.status();
   }
@@ -34,6 +40,8 @@ StatusOr<QueuePair*> ConnectionManager::ensure_data_channel(NodeId a,
     if (!it->second.data_a->in_error() && !it->second.control_a->in_error())
       return it->second.data_a;
     // Repair: tear down the broken pair, fall through to re-establish.
+    log_.info("repairing channel pair ", a, "<->", b,
+              " (QP in error state)");
     if (auto* ep = endpoints_[a]) ep->detach_channel(b);
     if (auto* ep = endpoints_[b]) ep->detach_channel(a);
     fabric_.destroy_connection(it->second.data_a);

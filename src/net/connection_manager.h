@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
@@ -44,6 +45,12 @@ class ConnectionManager {
 
   std::size_t established_pairs() const noexcept { return channels_.size(); }
 
+  // Repair and establish-failure events are logged at info (failures to
+  // reach a crashed peer are routine retry traffic, so the default kWarn
+  // level keeps them quiet). Tests lower the level and redirect the sink
+  // via logger().set_sink() to observe the retry path.
+  Logger& logger() noexcept { return log_; }
+
  private:
   struct ChannelPair {
     QueuePair* data_a = nullptr;   // a-side endpoints
@@ -55,6 +62,7 @@ class ConnectionManager {
   Status establish(NodeId a, NodeId b, ChannelPair& out);
 
   Fabric& fabric_;
+  Logger log_{"net.cm"};
   std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
   std::map<PairKey, ChannelPair> channels_;
 };

@@ -153,6 +153,9 @@ StatusOr<SimTime> Fabric::model_transfer(NodeId src, NodeId dst,
   d.ingress_free = arrival;
   metrics_.counter("fabric.bytes_transferred") += bytes;
   ++metrics_.counter("fabric.messages");
+  // Message-size distribution: the §IV.H batching economics in one
+  // histogram (many small messages vs few large ones).
+  metrics_.histogram("fabric.msg_bytes").record(bytes);
   return arrival;
 }
 
@@ -171,8 +174,9 @@ void Fabric::complete_with_error(QueuePair* qp, Status status,
 
 Status QueuePair::post_write(RKey rkey, std::uint64_t offset,
                              std::span<const std::byte> data,
-                             CompletionCallback done) {
+                             CompletionCallback done, TraceId trace) {
   if (error_) return FailedPreconditionError("QP in error state");
+  const SimTime posted_at = fabric_.sim_.now();
   auto arrival = fabric_.model_transfer(local_, remote_, data.size(),
                                         fabric_.config().latency.rdma);
   if (!arrival.ok()) {
@@ -191,7 +195,8 @@ Status QueuePair::post_write(RKey rkey, std::uint64_t offset,
   const QpId self_id = id_;
   fabric.sim_.schedule_at(deliver, [&fabric, remote, rkey, offset,
                                     payload = std::move(payload), self_id,
-                                    nbytes, done = std::move(done), deliver]() {
+                                    nbytes, done = std::move(done), deliver,
+                                    posted_at]() {
     MemoryRegion* region = fabric.find_region(remote, rkey);
     if (!fabric.node_up(remote) || region == nullptr ||
         offset + payload.size() > region->bytes.size()) {
@@ -205,6 +210,8 @@ Status QueuePair::post_write(RKey rkey, std::uint64_t offset,
     std::memcpy(region->bytes.data() + offset, payload.data(), payload.size());
     const SimTime acked =
         deliver + fabric.config().latency.link_propagation_ns;
+    fabric.metrics().histogram("fabric.write_ns")
+        .record(static_cast<std::uint64_t>(acked - posted_at));
     fabric.sim_.schedule_at(acked, [done = std::move(done), acked, nbytes]() {
       if (done) done(Completion{Status::Ok(), acked, nbytes});
     });
@@ -213,13 +220,16 @@ Status QueuePair::post_write(RKey rkey, std::uint64_t offset,
   fabric_.trace("fabric.write",
                 "node" + std::to_string(local_) + " -> node" +
                     std::to_string(remote_) + ", " +
-                    std::to_string(data.size()) + "B");
+                    std::to_string(data.size()) + "B " +
+                    format_trace_id(trace));
   return Status::Ok();
 }
 
 Status QueuePair::post_read(RKey rkey, std::uint64_t offset,
-                            std::span<std::byte> dest, CompletionCallback done) {
+                            std::span<std::byte> dest, CompletionCallback done,
+                            TraceId trace) {
   if (error_) return FailedPreconditionError("QP in error state");
+  const SimTime posted_at = fabric_.sim_.now();
   // Request hop (tiny control message), then data hop back.
   auto request_arrival =
       fabric_.model_transfer(local_, remote_, 64, fabric_.config().latency.rdma);
@@ -232,7 +242,7 @@ Status QueuePair::post_read(RKey rkey, std::uint64_t offset,
   const NodeId local = local_;
   const QpId self_id = id_;
   fabric.sim_.schedule_at(*request_arrival, [&fabric, remote, local, rkey,
-                                             offset, dest, self_id,
+                                             offset, dest, self_id, posted_at,
                                              done = std::move(done)]() mutable {
     QueuePair* self = fabric.qp_by_id(self_id);
     MemoryRegion* region = fabric.find_region(remote, rkey);
@@ -265,6 +275,8 @@ Status QueuePair::post_read(RKey rkey, std::uint64_t offset,
     }
     const SimTime deliver = std::max(*back, self->last_delivery_);
     self->last_delivery_ = deliver;
+    fabric.metrics().histogram("fabric.read_ns")
+        .record(static_cast<std::uint64_t>(deliver - posted_at));
     fabric.sim_.schedule_at(deliver, [dest, payload = std::move(payload),
                                       done = std::move(done), deliver]() {
       std::memcpy(dest.data(), payload.data(), payload.size());
@@ -277,13 +289,15 @@ Status QueuePair::post_read(RKey rkey, std::uint64_t offset,
   fabric_.trace("fabric.read",
                 "node" + std::to_string(local_) + " <- node" +
                     std::to_string(remote_) + ", " +
-                    std::to_string(dest.size()) + "B");
+                    std::to_string(dest.size()) + "B " +
+                    format_trace_id(trace));
   return Status::Ok();
 }
 
 Status QueuePair::post_send(std::span<const std::byte> message,
                             CompletionCallback done) {
   if (error_) return FailedPreconditionError("QP in error state");
+  const SimTime posted_at = fabric_.sim_.now();
   auto arrival = fabric_.model_transfer(local_, remote_, message.size(),
                                         fabric_.config().latency.rdma_send);
   if (!arrival.ok()) {
@@ -301,7 +315,7 @@ Status QueuePair::post_send(std::span<const std::byte> message,
   fabric.sim_.schedule_at(deliver, [&fabric, self_id, from, remote,
                                     payload = std::move(payload),
                                     done = std::move(done), deliver,
-                                    nbytes]() {
+                                    nbytes, posted_at]() {
     QueuePair* self = fabric.qp_by_id(self_id);
     QueuePair* peer = self != nullptr ? fabric.peer_of(self) : nullptr;
     if (!fabric.node_up(remote) || peer == nullptr ||
@@ -313,6 +327,8 @@ Status QueuePair::post_send(std::span<const std::byte> message,
     }
     peer->receive_handler_(from, std::span<const std::byte>(payload));
     const SimTime acked = deliver + fabric.config().latency.link_propagation_ns;
+    fabric.metrics().histogram("fabric.send_ns")
+        .record(static_cast<std::uint64_t>(acked - posted_at));
     fabric.sim_.schedule_at(acked, [done = std::move(done), acked, nbytes]() {
       if (done) done(Completion{Status::Ok(), acked, nbytes});
     });

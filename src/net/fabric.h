@@ -42,13 +42,16 @@ class QueuePair {
 
   // One-sided WRITE of `data` into (rkey, offset) on the remote node.
   // Bytes land at modeled arrival time; the callback fires at ack time.
+  // `trace` tags the tracer event so the verb can be attributed to the
+  // causal chain that issued it (kNoTrace = untraced).
   Status post_write(RKey rkey, std::uint64_t offset,
-                    std::span<const std::byte> data, CompletionCallback done);
+                    std::span<const std::byte> data, CompletionCallback done,
+                    TraceId trace = kNoTrace);
 
   // One-sided READ of dest.size() bytes from (rkey, offset) on the remote
   // node into `dest`. Bytes land and the callback fires at completion time.
   Status post_read(RKey rkey, std::uint64_t offset, std::span<std::byte> dest,
-                   CompletionCallback done);
+                   CompletionCallback done, TraceId trace = kNoTrace);
 
   // Two-sided SEND. The remote node's receive handler for this QP gets the
   // message at arrival time; the local callback fires at ack time.
@@ -97,6 +100,7 @@ class Fabric {
   // Attaches an event tracer (not owned; may be null to detach). The
   // fabric records verbs, registrations, and topology changes.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+  sim::Tracer* tracer() const noexcept { return tracer_; }
 
   // --- topology -----------------------------------------------------------
   void add_node(NodeId node);

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -20,6 +21,30 @@ namespace dm::net {
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = ~0u;
+
+// Causal trace id carried through the control-plane wire format and stamped
+// into tracer events, so one logical operation (a page fault, a replicated
+// put) can be followed across nodes. Encoded as (origin node + 1) << 32 |
+// per-node monotonic sequence; 0 means "untraced".
+using TraceId = std::uint64_t;
+inline constexpr TraceId kNoTrace = 0;
+
+inline TraceId make_trace_id(NodeId origin, std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(origin) + 1) << 32 | seq;
+}
+inline NodeId trace_origin(TraceId id) noexcept {
+  return static_cast<NodeId>((id >> 32) - 1);
+}
+inline std::uint32_t trace_seq(TraceId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+// "trace=3:17" — the canonical substring tracer events carry, so
+// Tracer::matching(format_trace_id(id)) follows one causal chain.
+inline std::string format_trace_id(TraceId id) {
+  if (id == kNoTrace) return "trace=-";
+  return "trace=" + std::to_string(trace_origin(id)) + ":" +
+         std::to_string(trace_seq(id));
+}
 
 // Remote key naming a registered memory region on some node.
 using RKey = std::uint64_t;

@@ -4,8 +4,8 @@ namespace dm::net {
 namespace {
 
 // Message layout: u8 kind (0=request, 1=reply-ok, 2=reply-error),
-// u64 call id, u16 method (request) or u16 status code (error reply),
-// then the payload bytes.
+// u64 call id, u64 trace id, u16 method (request) or u16 status code
+// (error reply), then the payload bytes.
 enum class Kind : std::uint8_t { kRequest = 0, kReplyOk = 1, kReplyError = 2 };
 
 }  // namespace
@@ -20,15 +20,22 @@ void RpcEndpoint::attach_channel(QueuePair* qp) {
 
 void RpcEndpoint::detach_channel(NodeId peer) { channels_.erase(peer); }
 
+std::string RpcEndpoint::method_label(RpcMethod method) const {
+  auto it = labels_.find(method);
+  return it != labels_.end() ? it->second : "m" + std::to_string(method);
+}
+
 void RpcEndpoint::call(NodeId peer, RpcMethod method,
                        std::vector<std::byte> payload, SimTime timeout,
-                       RpcResponseCallback done) {
+                       RpcResponseCallback done, TraceId trace) {
+  if (trace == kNoTrace) trace = make_trace_id(self_, ++next_trace_);
   auto it = channels_.find(peer);
   if ((it == channels_.end() || it->second->in_error()) && repairer_) {
     (void)repairer_(peer);  // lazily establish / repair the channel
     it = channels_.find(peer);
   }
   if (it == channels_.end() || it->second->in_error()) {
+    ++metrics_.counter("rpc.no_channel");
     // Fail asynchronously so callers see uniform completion ordering.
     sim_.schedule_after(0, [done = std::move(done)]() {
       done(UnavailableError("no control channel to peer"));
@@ -38,11 +45,20 @@ void RpcEndpoint::call(NodeId peer, RpcMethod method,
   const std::uint64_t call_id = next_call_++;
   auto pending = std::make_shared<Pending>();
   pending->done = std::move(done);
+  pending->started = sim_.now();
+  pending->method = method;
+  pending->trace = trace;
   pending_.emplace(call_id, pending);
+  ++metrics_.counter("rpc.calls");
+  trace_event("rpc.call", "node" + std::to_string(self_) + " -> node" +
+                              std::to_string(peer) + " " +
+                              method_label(method) + " " +
+                              format_trace_id(trace));
 
   WireWriter w;
   w.put_u8(static_cast<std::uint8_t>(Kind::kRequest));
   w.put_u64(call_id);
+  w.put_u64(trace);
   w.put_u16(method);
   w.put_bytes(payload);
   const auto msg = std::move(w).take();
@@ -64,6 +80,7 @@ void RpcEndpoint::on_message(NodeId from, std::span<const std::byte> message) {
   WireReader r(message);
   const auto kind = static_cast<Kind>(r.u8());
   const std::uint64_t call_id = r.u64();
+  const TraceId trace = r.u64();
   if (!r.ok()) return;  // torn message: drop (sender will time out)
 
   if (kind == Kind::kRequest) {
@@ -73,22 +90,34 @@ void RpcEndpoint::on_message(NodeId from, std::span<const std::byte> message) {
     auto reply_channel = channels_.find(from);
     if (reply_channel == channels_.end()) return;
 
+    ++metrics_.counter("rpc.dispatched");
+    trace_event("rpc.dispatch", "node" + std::to_string(self_) + " <- node" +
+                                    std::to_string(from) + " " +
+                                    method_label(method) + " " +
+                                    format_trace_id(trace));
     WireWriter w;
     auto handler = handlers_.find(method);
     if (handler == handlers_.end()) {
       w.put_u8(static_cast<std::uint8_t>(Kind::kReplyError));
       w.put_u64(call_id);
+      w.put_u64(trace);
       w.put_u16(static_cast<std::uint16_t>(StatusCode::kInvalidArgument));
     } else {
       WireReader req(payload);
+      // Expose the request's trace id to the handler so downstream calls
+      // stay on the same causal chain.
+      current_trace_ = trace;
       auto result = handler->second(from, req);
+      current_trace_ = kNoTrace;
       if (result.ok()) {
         w.put_u8(static_cast<std::uint8_t>(Kind::kReplyOk));
         w.put_u64(call_id);
+        w.put_u64(trace);
         w.put_bytes(*result);
       } else {
         w.put_u8(static_cast<std::uint8_t>(Kind::kReplyError));
         w.put_u64(call_id);
+        w.put_u64(trace);
         w.put_u16(static_cast<std::uint16_t>(result.status().code()));
         w.put_string(result.status().message());
       }
@@ -117,6 +146,19 @@ void RpcEndpoint::settle(std::uint64_t call_id,
   pending_.erase(it);
   if (pending->settled) return;
   pending->settled = true;
+  // Round-trip latency per method, timeouts and error-settles included —
+  // failure detection time is part of the paper's recovery story.
+  metrics_.histogram("rpc.rtt." + method_label(pending->method))
+      .record(static_cast<std::uint64_t>(sim_.now() - pending->started));
+  if (!result.ok()) {
+    ++metrics_.counter(result.status().code() == StatusCode::kTimeout
+                           ? "rpc.timeouts"
+                           : "rpc.errors");
+  }
+  trace_event("rpc.reply", "node" + std::to_string(self_) + " " +
+                               method_label(pending->method) + " " +
+                               (result.ok() ? "ok " : "err ") +
+                               format_trace_id(pending->trace));
   pending->done(std::move(result));
 }
 

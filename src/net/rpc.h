@@ -5,15 +5,24 @@
 // control channel (placement, eviction, membership). RpcEndpoint implements
 // the control channel: per-method handlers on the server side, correlated
 // asynchronous calls with timeouts on the client side.
+//
+// Observability: every frame carries a causal TraceId (allocated at the
+// first hop when the caller passes kNoTrace) which the endpoint stamps into
+// tracer events on both sides of the hop, and round-trip latency is
+// recorded per method into the endpoint's MetricsRegistry as
+// "rpc.rtt.<label>" histograms (labels registered via label_method, falling
+// back to "m<id>").
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/fabric.h"
 #include "net/wire.h"
@@ -39,6 +48,17 @@ class RpcEndpoint {
       : sim_(simulator), self_(self) {}
 
   NodeId self() const noexcept { return self_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  // Attaches an event tracer (not owned; null detaches). Records
+  // "rpc.call" / "rpc.dispatch" / "rpc.reply" events carrying trace ids.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  // Registers a human-readable label for a method id, used in tracer
+  // events and the "rpc.rtt.<label>" histogram names.
+  void label_method(RpcMethod method, std::string label) {
+    labels_[method] = std::move(label);
+  }
 
   // Registers the handler for a method id (overwrites any previous one).
   void handle(RpcMethod method, RpcHandler handler) {
@@ -61,28 +81,48 @@ class RpcEndpoint {
 
   // Issues a call to `peer`. The callback always fires exactly once: with
   // the response payload, with the server's error status, or with a timeout/
-  // unavailable error.
+  // unavailable error. `trace` propagates the caller's causal chain; pass
+  // kNoTrace to start a fresh one at this hop.
   void call(NodeId peer, RpcMethod method, std::vector<std::byte> payload,
-            SimTime timeout, RpcResponseCallback done);
+            SimTime timeout, RpcResponseCallback done,
+            TraceId trace = kNoTrace);
+
+  // The trace id of the request currently being dispatched (valid inside a
+  // handler; kNoTrace otherwise). Handlers issuing downstream calls pass it
+  // along to keep the chain causal.
+  TraceId current_trace_id() const noexcept { return current_trace_; }
 
   std::size_t inflight() const noexcept { return pending_.size(); }
 
  private:
   struct Pending {
     RpcResponseCallback done;
+    SimTime started = 0;
+    RpcMethod method = 0;
+    TraceId trace = kNoTrace;
     bool settled = false;
   };
 
   void on_message(NodeId from, std::span<const std::byte> message);
   void settle(std::uint64_t call_id, StatusOr<std::vector<std::byte>> result);
+  std::string method_label(RpcMethod method) const;
+  void trace_event(std::string category, std::string detail) {
+    if (tracer_ != nullptr)
+      tracer_->record(sim_.now(), std::move(category), std::move(detail));
+  }
 
   sim::Simulator& sim_;
   NodeId self_;
+  MetricsRegistry metrics_;
+  sim::Tracer* tracer_ = nullptr;
   std::unordered_map<RpcMethod, RpcHandler> handlers_;
+  std::unordered_map<RpcMethod, std::string> labels_;
   std::function<Status(NodeId)> repairer_;
   std::unordered_map<NodeId, QueuePair*> channels_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
   std::uint64_t next_call_ = 1;
+  std::uint32_t next_trace_ = 0;
+  TraceId current_trace_ = kNoTrace;
 };
 
 }  // namespace dm::net

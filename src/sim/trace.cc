@@ -2,9 +2,9 @@
 
 namespace dm::sim {
 
-std::string Tracer::to_string(std::size_t last_n) const {
+std::string Tracer::format(const std::vector<Event>& events) {
   std::string out;
-  for (const Event& event : recent(last_n)) {
+  for (const Event& event : events) {
     out += '[';
     out += format_duration(event.at);
     out += "] ";
@@ -14,6 +14,10 @@ std::string Tracer::to_string(std::size_t last_n) const {
     out += '\n';
   }
   return out;
+}
+
+std::string Tracer::to_string(std::size_t last_n) const {
+  return format(recent(last_n));
 }
 
 }  // namespace dm::sim

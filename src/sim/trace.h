@@ -42,6 +42,9 @@ class Tracer {
   // Most recent `n` events, oldest first.
   std::vector<Event> recent(std::size_t n) const {
     const std::size_t count = std::min(n, events_.size());
+    // Never form end() - count on the empty deque: libstdc++ deque
+    // iterator arithmetic on a value-initialized/empty range is UB.
+    if (count == 0) return {};
     return {events_.end() - static_cast<std::ptrdiff_t>(count),
             events_.end()};
   }
@@ -54,6 +57,15 @@ class Tracer {
     return out;
   }
 
+  // All retained events whose detail contains `needle`, oldest first — the
+  // way to follow one trace id ("trace=3:17") across subsystems and nodes.
+  std::vector<Event> matching(std::string_view needle) const {
+    std::vector<Event> out;
+    for (const Event& event : events_)
+      if (event.detail.find(needle) != std::string::npos) out.push_back(event);
+    return out;
+  }
+
   void clear() {
     events_.clear();
     dropped_ = 0;
@@ -61,6 +73,10 @@ class Tracer {
 
   // "[123.45us] fabric.write: node0 -> node1, 4096B" lines.
   std::string to_string(std::size_t last_n = 64) const;
+
+  // Pretty-printed dump of an event subset (e.g. matching()/by_category()
+  // results), same line format as to_string().
+  static std::string format(const std::vector<Event>& events);
 
  private:
   std::size_t capacity_;

@@ -43,12 +43,22 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
     return Status::Ok();
   }
   ++faults_;
+  // Fault latency by service path, in virtual time: the zswap pool hit,
+  // the backend fault (whatever tier the batch entry lives in), and the
+  // demand-content cold fault. The spread between these histograms is the
+  // paper's Fig 9 tier story in one snapshot.
+  auto& sim = client_.service().node().simulator();
+  const SimTime fault_started = sim.now();
+  const char* path = nullptr;
   if (zswap_ && zswap_->contains(page)) {
+    path = "zswap";
     DM_RETURN_IF_ERROR(fault_in_zswap(page));
   } else if (backed_.count(page) > 0) {
+    path = "backend";
     DM_RETURN_IF_ERROR(fault_in(page));
   } else {
     // First touch: demand-zero (well, demand-content) fault.
+    path = "cold";
     DM_RETURN_IF_ERROR(make_room(1));
     auto [slot, inserted] =
         resident_.try_emplace(page, std::vector<std::byte>(kPageBytes));
@@ -56,6 +66,8 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
     lru_.touch(page);
     ++metrics_.counter("swap.cold_faults");
   }
+  metrics_.histogram(std::string("swap.fault_ns.") + path)
+      .record(static_cast<std::uint64_t>(sim.now() - fault_started));
   if (write) {
     dirty_.insert(page);
     DM_RETURN_IF_ERROR(invalidate_backing(page));
@@ -150,6 +162,8 @@ Status SwapManager::store_batch(
     std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> pages) {
   // The batch is assembled in the node's send staging pool (paper Fig. 1:
   // the cluster-wide DM send buffer), then handed to the LDMC in one piece.
+  auto& sim = client_.service().node().simulator();
+  const SimTime batch_started = sim.now();
   auto& staging = client_.service().node().send_pool();
   staging.reset();
   std::vector<std::byte> buffer;
@@ -218,6 +232,9 @@ Status SwapManager::store_batch(
   }
   ++swap_outs_;
   metrics_.counter("swap.swapped_out_pages") += batch.pages.size();
+  // Compression + staging + replicated store, end to end for one window.
+  metrics_.histogram("swap.swapout_ns")
+      .record(static_cast<std::uint64_t>(sim.now() - batch_started));
 
   if (config_.disk_backup) {
     // Asynchronous full-page backup writes (Infiniswap durability path);
