@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + tests, then an ASan/UBSan build + tests.
+#
+# Usage: ./ci.sh [--plain-only|--sanitize-only]
+#
+# The sanitizer pass uses the DM_SANITIZE cache option defined in the root
+# CMakeLists.txt (compiles the whole tree with -fsanitize=address,undefined).
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+mode="${1:-all}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "==> plain build + tests"
+  run_suite build
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "==> sanitized build + tests (ASan + UBSan)"
+  run_suite build-asan -DDM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "==> ci passed"

@@ -14,11 +14,14 @@ DmSystem::DmSystem(Config config)
   groups_ = std::make_unique<cluster::GroupDirectory>(ids,
                                                       config_.group_size);
 
+  connections_->set_retry_policy(config_.connect_backoff);
+
   for (net::NodeId id : ids) {
     auto node_config = config_.node;
     node_config.rng_seed = config_.seed;
     nodes_.push_back(std::make_unique<cluster::Node>(
         sim_, *fabric_, *connections_, id, node_config));
+    nodes_.back()->rpc().set_retry_policy(config_.rpc_retry);
   }
   for (auto& node : nodes_) {
     const cluster::GroupId group = groups_->group_of(node->id());
@@ -27,11 +30,15 @@ DmSystem::DmSystem(Config config)
   for (auto& node : nodes_)
     services_.push_back(
         std::make_unique<NodeService>(*node, config_.service));
+  for (auto& service : services_)
+    repairs_.push_back(
+        std::make_unique<RepairService>(*service, config_.repair));
 
   // Observability: fold every subsystem registry into the hub under
   // hierarchical names. Metric names already carry their subsystem
   // ("rpc.rtt.*", "ldms.get_ns.*"), so prefixes are just the location.
   hub_.add("net", &fabric_->metrics());
+  hub_.add("net", &connections_->metrics());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const std::string prefix = "node." + std::to_string(nodes_[i]->id());
     hub_.add(prefix, &nodes_[i]->rpc().metrics());
@@ -62,6 +69,7 @@ void DmSystem::start() {
     service->start_eviction_monitor();
     service->start_candidate_refresh();
   }
+  for (auto& repair : repairs_) repair->start();
   if (config_.scrape_period > 0) hub_.start_scrape(sim_, config_.scrape_period);
   if (config_.regroup_low_watermark > 0.0) {
     // Periodic regroup evaluation (self-rescheduling functor).
@@ -152,6 +160,11 @@ void DmSystem::recover_node(std::size_t index) {
   // A reboot loses DRAM contents: hosted blocks are gone (their owners
   // re-replicated elsewhere while the node was down).
   service(index).rdms().drop_all_blocks();
+  // If the outage was shorter than failure detection, owners may still
+  // list replicas on this node — those copies died with the DRAM, so drop
+  // them before the node rejoins and let the repair service top up.
+  for (auto& service : services_)
+    service->invalidate_replicas_on(node(index).id());
   fabric_->set_node_up(node(index).id(), true);
   node(index).membership().start();
 }

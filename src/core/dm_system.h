@@ -29,7 +29,9 @@
 #include "cluster/node.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
+#include "core/repair_service.h"
 #include "net/connection_manager.h"
+#include "net/retry_policy.h"
 #include "obs/metrics_hub.h"
 #include "sim/failure_injector.h"
 
@@ -57,6 +59,14 @@ class DmSystem {
     // snapshots the merged cluster metrics every `scrape_period` of virtual
     // time (0 disables).
     SimTime scrape_period = 1 * kSecond;
+    // Fault-tolerance knobs (all off by default so the failure-free event
+    // schedule is unchanged):
+    // Retry policy applied to every node's RPC endpoint (control plane).
+    net::RetryPolicy rpc_retry{};
+    // Backoff gate for data-channel (re)establishment attempts.
+    net::RetryPolicy connect_backoff{};
+    // Background re-replication scanner, one per node.
+    RepairService::Config repair{};
   };
 
   explicit DmSystem(Config config);
@@ -82,6 +92,7 @@ class DmSystem {
   std::size_t node_count() const noexcept { return nodes_.size(); }
   cluster::Node& node(std::size_t index) { return *nodes_.at(index); }
   NodeService& service(std::size_t index) { return *services_.at(index); }
+  RepairService& repair(std::size_t index) { return *repairs_.at(index); }
   cluster::GroupDirectory& groups() noexcept { return *groups_; }
 
   // Starts membership, elections and the eviction monitors, then runs the
@@ -124,6 +135,7 @@ class DmSystem {
   std::unique_ptr<cluster::GroupDirectory> groups_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<NodeService>> services_;
+  std::vector<std::unique_ptr<RepairService>> repairs_;
   obs::MetricsHub hub_;
   void rewire_group(cluster::GroupId group);
 

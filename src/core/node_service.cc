@@ -49,6 +49,15 @@ Ldmc* NodeService::client(cluster::ServerId server) {
   return it == clients_.end() ? nullptr : it->second.get();
 }
 
+void NodeService::for_each_client(
+    const std::function<void(cluster::ServerId, Ldmc&)>& fn) {
+  std::vector<cluster::ServerId> ids;
+  ids.reserve(clients_.size());
+  for (const auto& [server, client_ptr] : clients_) ids.push_back(server);
+  std::sort(ids.begin(), ids.end());
+  for (cluster::ServerId server : ids) fn(server, *clients_[server]);
+}
+
 // ---- put path ---------------------------------------------------------------
 
 void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
@@ -167,13 +176,33 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                 loc.tier = mem::Tier::kRemote;
                 loc.stored_size = size;
                 loc.replicas = *std::move(replicas);
+                // Degraded-mode put (§IV.D hardening): fewer replicas than
+                // the factor landed; flag it for the repair service.
+                loc.degraded =
+                    loc.replicas.size() < rdmc_.config().replication;
+                if (loc.degraded)
+                  ++metrics_.counter("ldms.put_remote_degraded");
                 ++metrics_.counter("ldms.put_remote");
                 done(loc);
                 return;
               }
+              // Remote tier refused the entry. Capacity exhaustion is a
+              // normal overflow; anything else means remote memory is
+              // unreachable, so the disk copy is a *degraded* placement the
+              // repair service should re-promote once the cluster heals.
+              const bool unreachable = replicas.status().code() !=
+                                       StatusCode::kResourceExhausted;
               if (allow_disk) {
                 ++metrics_.counter("ldms.remote_overflow_to_disk");
-                put_device(server, entry, *payload, std::move(done));
+                put_device(server, entry, *payload,
+                           [this, unreachable, done = std::move(done)](
+                               StatusOr<mem::EntryLocation> result) mutable {
+                             if (result.ok() && unreachable) {
+                               result->degraded = true;
+                               ++metrics_.counter("ldms.degraded_to_disk");
+                             }
+                             done(std::move(result));
+                           });
                 return;
               }
               done(replicas.status());
@@ -524,6 +553,7 @@ void NodeService::repair_after_node_down(net::NodeId dead) {
       // dead replica, then top the factor back up asynchronously.
       mem::EntryLocation degraded = *loc;
       degraded.replicas = survivors;
+      degraded.degraded = survivors.size() < config_.rdmc.replication;
       owner->map().commit(entry, degraded);
 
       std::vector<net::NodeId> exclude;
@@ -563,6 +593,8 @@ void NodeService::repair_after_node_down(net::NodeId dead) {
                   loc.replicas = survivors;
                   for (auto& replica : *fresh)
                     loc.replicas.push_back(replica);
+                  loc.degraded =
+                      loc.replicas.size() < config_.rdmc.replication;
                   owner->map().commit(entry, std::move(loc));
                   ++metrics_.counter("ldms.repaired_entries");
                 },
@@ -570,6 +602,176 @@ void NodeService::repair_after_node_down(net::NodeId dead) {
           });
     }
   }
+}
+
+void NodeService::invalidate_replicas_on(net::NodeId host) {
+  for_each_client([&](cluster::ServerId, Ldmc& owner) {
+    for (mem::EntryId entry : owner.map().entries_with_replica_on(host)) {
+      auto loc = owner.map().lookup(entry);
+      if (!loc.ok() || loc->tier != mem::Tier::kRemote) continue;
+      std::vector<mem::RemoteReplica> survivors;
+      for (const auto& replica : loc->replicas)
+        if (replica.node != host) survivors.push_back(replica);
+      if (survivors.empty()) {
+        // The rebooted node held the only copy: genuine data loss.
+        ++data_loss_;
+        ++metrics_.counter("ldms.repair_data_loss");
+        continue;
+      }
+      mem::EntryLocation updated = *loc;
+      updated.replicas = std::move(survivors);
+      updated.degraded = updated.replicas.size() < config_.rdmc.replication;
+      owner.map().commit(entry, std::move(updated));
+      ++metrics_.counter("ldms.replicas_invalidated");
+    }
+  });
+}
+
+void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
+                               DoneCallback done, net::TraceId trace) {
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  Ldmc* owner = client(server);
+  if (owner == nullptr) {
+    done(NotFoundError("unknown server"));
+    return;
+  }
+  auto loc = owner->map().lookup(entry);
+  if (!loc.ok()) {
+    done(loc.status());
+    return;
+  }
+  const std::size_t factor = config_.rdmc.replication;
+
+  if (loc->tier == mem::Tier::kRemote) {
+    // Prune replicas whose hosts are down, then top back up to the factor.
+    std::vector<mem::RemoteReplica> survivors;
+    for (const auto& replica : loc->replicas)
+      if (node_.fabric().node_up(replica.node)) survivors.push_back(replica);
+    if (survivors.empty()) {
+      ++data_loss_;
+      ++metrics_.counter("ldms.repair_data_loss");
+      done(DataLossError("no live replica to repair from"));
+      return;
+    }
+    mem::EntryLocation pruned = *loc;
+    pruned.replicas = survivors;
+    pruned.degraded = survivors.size() < factor;
+    if (pruned.replicas.size() != loc->replicas.size() ||
+        pruned.degraded != loc->degraded)
+      owner->map().commit(entry, pruned);
+    if (survivors.size() >= factor) {
+      done(Status::Ok());
+      return;
+    }
+    const std::size_t missing = factor - survivors.size();
+    std::vector<net::NodeId> exclude;
+    for (const auto& replica : loc->replicas) exclude.push_back(replica.node);
+    auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
+    rdmc_.read(
+        survivors, 0, *bytes,
+        [this, server, entry, bytes, survivors, missing,
+         exclude = std::move(exclude), base = std::move(pruned), factor,
+         done = std::move(done), trace](const Status& s) mutable {
+          if (!s.ok()) {
+            ++metrics_.counter("ldms.repair_read_failed");
+            done(s);
+            return;
+          }
+          rdmc_.put(
+              server, entry, *bytes,
+              [this, server, entry, bytes, survivors, base = std::move(base),
+               factor, done = std::move(done)](
+                  StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+                if (!fresh.ok()) {
+                  ++metrics_.counter("ldms.repair_put_failed");
+                  done(fresh.status());
+                  return;
+                }
+                Ldmc* owner = client(server);
+                // Re-check before committing: never resurrect an entry the
+                // application removed or moved while the repair ran.
+                auto current = owner != nullptr ? owner->map().lookup(entry)
+                                                : NotFoundError("owner gone");
+                if (!current.ok() || current->tier != mem::Tier::kRemote) {
+                  rdmc_.free_replicas(*std::move(fresh));
+                  ++metrics_.counter("ldms.repair_stale");
+                  done(Status::Ok());
+                  return;
+                }
+                mem::EntryLocation loc = std::move(base);
+                loc.replicas = survivors;
+                for (auto& replica : *fresh) loc.replicas.push_back(replica);
+                loc.degraded = loc.replicas.size() < factor;
+                owner->map().commit(entry, std::move(loc));
+                ++metrics_.counter("ldms.repaired_entries");
+                done(Status::Ok());
+              },
+              exclude, missing, trace);
+        },
+        trace);
+    return;
+  }
+
+  if ((loc->tier == mem::Tier::kDisk || loc->tier == mem::Tier::kNvm) &&
+      loc->degraded) {
+    // Disk-fallback entry: re-promote to remote memory at the full factor,
+    // then release the device extent.
+    auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
+    get_entry(
+        server, entry, *loc, 0, *bytes,
+        [this, server, entry, bytes, old = *loc, factor,
+         done = std::move(done), trace](const Status& s) mutable {
+          if (!s.ok()) {
+            ++metrics_.counter("ldms.repair_read_failed");
+            done(s);
+            return;
+          }
+          rdmc_.put(
+              server, entry, *bytes,
+              [this, server, entry, bytes, old = std::move(old), factor,
+               done = std::move(done)](
+                  StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+                if (!fresh.ok()) {
+                  ++metrics_.counter("ldms.repair_put_failed");
+                  done(fresh.status());
+                  return;
+                }
+                Ldmc* owner = client(server);
+                auto current = owner != nullptr ? owner->map().lookup(entry)
+                                                : NotFoundError("owner gone");
+                // Promote only if the entry still sits in the same device
+                // extent the bytes were read from.
+                if (!current.ok() || current->tier != old.tier ||
+                    current->disk_offset != old.disk_offset) {
+                  rdmc_.free_replicas(*std::move(fresh));
+                  ++metrics_.counter("ldms.repair_stale");
+                  done(Status::Ok());
+                  return;
+                }
+                const mem::Tier old_tier = old.tier;
+                const std::uint64_t extent = old.disk_offset;
+                mem::EntryLocation loc = std::move(old);
+                loc.tier = mem::Tier::kRemote;
+                loc.replicas = *std::move(fresh);
+                loc.degraded = loc.replicas.size() < factor;
+                loc.disk_offset = 0;
+                const std::uint32_t stored = loc.stored_size;
+                owner->map().commit(entry, std::move(loc));
+                if (old_tier == mem::Tier::kNvm)
+                  free_nvm(extent, stored);
+                else
+                  free_disk(extent, stored);
+                ++metrics_.counter("ldms.promoted_from_disk");
+                done(Status::Ok());
+              },
+              /*exclude=*/{}, /*count=*/0, trace);
+        },
+        trace);
+    return;
+  }
+
+  // Healthy (or shm-resident) entry: nothing to repair.
+  done(Status::Ok());
 }
 
 // ---- leader candidate sets (§IV.E) -------------------------------------------

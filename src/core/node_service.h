@@ -92,6 +92,10 @@ class NodeService {
   // --- client registry -------------------------------------------------------
   Ldmc& create_client(cluster::ServerId server, LdmcOptions options = {});
   Ldmc* client(cluster::ServerId server);
+  // Visits every client in server-id order (deterministic; used by the
+  // repair scanner and invariant-checking tests).
+  void for_each_client(
+      const std::function<void(cluster::ServerId, Ldmc&)>& fn);
 
   // --- LDMS data path (called by Ldmc) ---------------------------------------
   // prefer_shm picks the first tier to try; the fallback chain is
@@ -120,6 +124,21 @@ class NodeService {
   void start_candidate_refresh();
   // One monitor evaluation (exposed for deterministic tests).
   void eviction_tick();
+
+  // Restores one entry to its intended placement (§IV.D hardening): prunes
+  // replicas on dead hosts, tops a short remote replica set back up to the
+  // replication factor, and re-promotes degraded device-tier entries to
+  // remote memory. No-op for healthy entries. Driven by the RepairService;
+  // exposed for targeted recovery tests.
+  void repair_entry(cluster::ServerId server, mem::EntryId entry,
+                    DoneCallback done, net::TraceId trace = net::kNoTrace);
+
+  // A crashed node that reboots loses its DRAM, so every replica the
+  // cluster still lists on it is dead even though the host is up again.
+  // Drops those replicas from all local maps and marks the entries degraded
+  // for the repair service (called by DmSystem::recover_node before the
+  // node rejoins the fabric).
+  void invalidate_replicas_on(net::NodeId host);
 
   std::uint64_t data_loss_entries() const noexcept { return data_loss_; }
 

@@ -32,6 +32,12 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
     inner(std::move(result));
   };
   if (count == 0) count = config_.replication;
+  // Degraded-mode floor: below this many written replicas the transaction
+  // rolls back; at or above it, a short replica set is an acceptable
+  // (degraded) outcome for the repair service to top up later.
+  const std::size_t min_needed =
+      config_.min_replicas == 0 ? count
+                                : std::min(config_.min_replicas, count);
   auto candidates = candidates_();
   // Remove self and excluded nodes.
   std::erase_if(candidates, [&](const cluster::CandidateNode& c) {
@@ -41,17 +47,29 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
   auto targets = policy_->pick_recorded(candidates, count, data.size(),
                                         node_.rng(),
                                         &node_.recv_pool().metrics());
+  // Not enough candidates for the full factor: in degraded mode, retry the
+  // placement with progressively smaller replica sets down to the floor.
+  std::size_t want = count;
+  while (!targets.ok() && want > min_needed) {
+    --want;
+    targets = policy_->pick_recorded(candidates, want, data.size(),
+                                     node_.rng(),
+                                     &node_.recv_pool().metrics());
+  }
   if (!targets.ok()) {
     ++node_.recv_pool().metrics().counter("rdmc.put_no_candidates");
     done(targets.status());
     return;
   }
+  if (targets->size() < count)
+    ++node_.recv_pool().metrics().counter("rdmc.put_short_placement");
 
   // Shared transaction state across the async alloc + write fan-out.
   struct PutTx {
     std::vector<std::byte> payload;
     std::vector<mem::RemoteReplica> replicas;
     std::size_t pending = 0;
+    std::size_t min_needed = 0;
     bool failed = false;
     Status first_error;
     PutCallback done;
@@ -59,17 +77,40 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
   auto tx = std::make_shared<PutTx>();
   tx->payload.assign(data.begin(), data.end());
   tx->pending = targets->size();
+  tx->min_needed = min_needed;
   tx->done = std::move(done);
 
   auto finish_allocs = [this, tx, trace]() {
-    if (tx->failed) {
+    if (tx->failed && tx->replicas.size() < tx->min_needed) {
       // Roll back whatever was reserved; the caller's map is untouched.
       free_replicas(std::move(tx->replicas), {}, trace);
       tx->done(tx->first_error);
       return;
     }
-    // Phase 2: one-sided writes to every reserved block.
+    if (tx->failed)
+      ++node_.recv_pool().metrics().counter("rdmc.put_degraded_alloc");
+    // Phase 2: one-sided writes to every reserved block. Per-replica
+    // success tracking: a failed write drops that replica (its block is
+    // freed); the put still succeeds if enough writes landed.
+    tx->failed = false;
+    tx->first_error = Status::Ok();
     tx->pending = tx->replicas.size();
+    auto written = std::make_shared<std::vector<mem::RemoteReplica>>();
+    auto lost = std::make_shared<std::vector<mem::RemoteReplica>>();
+    auto settle_writes = [this, tx, written, lost, trace]() {
+      if (written->size() >= tx->min_needed) {
+        if (!lost->empty()) {
+          ++node_.recv_pool().metrics().counter("rdmc.put_degraded_write");
+          free_replicas(std::move(*lost), {}, trace);
+        }
+        tx->done(std::move(*written));
+      } else {
+        free_replicas(std::move(tx->replicas), {}, trace);
+        tx->done(tx->first_error.ok()
+                     ? UnavailableError("replica writes failed")
+                     : tx->first_error);
+      }
+    };
     for (const auto& replica : tx->replicas) {
       auto qp = node_.connections().ensure_data_channel(node_.id(),
                                                         replica.node);
@@ -77,31 +118,22 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
           !qp.ok() ? qp.status()
                    : (*qp)->post_write(
                          replica.rkey, replica.offset, tx->payload,
-                         [this, tx, trace](const net::Completion& c) {
-                           if (!c.status.ok() && !tx->failed) {
-                             tx->failed = true;
-                             tx->first_error = c.status;
+                         [tx, replica, written, lost,
+                          settle_writes](const net::Completion& c) {
+                           if (c.status.ok()) {
+                             written->push_back(replica);
+                           } else {
+                             lost->push_back(replica);
+                             if (tx->first_error.ok())
+                               tx->first_error = c.status;
                            }
-                           if (--tx->pending == 0) {
-                             if (tx->failed) {
-                               free_replicas(std::move(tx->replicas), {},
-                                             trace);
-                               tx->done(tx->first_error);
-                             } else {
-                               tx->done(std::move(tx->replicas));
-                             }
-                           }
+                           if (--tx->pending == 0) settle_writes();
                          },
                          trace);
       if (!posted.ok()) {
-        if (!tx->failed) {
-          tx->failed = true;
-          tx->first_error = posted;
-        }
-        if (--tx->pending == 0) {
-          free_replicas(std::move(tx->replicas), {}, trace);
-          tx->done(tx->first_error);
-        }
+        lost->push_back(replica);
+        if (tx->first_error.ok()) tx->first_error = posted;
+        if (--tx->pending == 0) settle_writes();
       }
     }
   };

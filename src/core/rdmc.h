@@ -30,6 +30,12 @@ class Rdmc {
  public:
   struct Config {
     std::size_t replication = 3;
+    // Degraded-mode floor: a put that cannot reach the full replication
+    // factor (dead targets, exhausted candidates) still succeeds once at
+    // least this many replicas are written, reporting the short replica
+    // set; the repair service tops it up later. 0 = strict all-or-nothing
+    // (the historical §IV.D transaction).
+    std::size_t min_replicas = 0;
     cluster::PlacementPolicyKind placement =
         cluster::PlacementPolicyKind::kPowerOfTwoChoices;
     SimTime rpc_timeout = 5 * kMilli;

@@ -1,5 +1,7 @@
 #include "mem/memory_map.h"
 
+#include <algorithm>
+
 namespace dm::mem {
 
 MemoryMap::MemoryMap(std::size_t shard_count)
@@ -50,6 +52,21 @@ std::vector<EntryId> MemoryMap::entries_with_replica_on(
       }
     }
   }
+  return out;
+}
+
+std::vector<EntryId> MemoryMap::repair_candidates(
+    std::size_t replication) const {
+  std::vector<EntryId> out;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, loc] : shard) {
+      const bool under_replicated =
+          loc.tier == Tier::kRemote && loc.replicas.size() < replication;
+      if (under_replicated || loc.degraded) out.push_back(id);
+    }
+  }
+  // Sorted so the repair order is independent of hash-table iteration.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

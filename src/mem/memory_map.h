@@ -63,6 +63,12 @@ struct EntryLocation {
   bool raw_fallback = false;       // compressed=true but stored raw
   std::uint64_t checksum = 0;      // fnv1a of the logical bytes
   std::uint64_t disk_offset = 0;   // device offset (tier kDisk or kNvm)
+  // Degraded mode (§IV.D hardening): the entry is durable but below its
+  // intended placement — written with fewer replicas than the replication
+  // factor, or pushed to a device tier because remote memory was
+  // unreachable. The background repair service revisits degraded entries
+  // and clears the flag once the intended placement is restored.
+  bool degraded = false;
   std::vector<RemoteReplica> replicas;  // valid when tier == kRemote
 };
 
@@ -86,6 +92,11 @@ class MemoryMap {
 
   // Entries with a replica on `node` — the failure/eviction repair set.
   std::vector<EntryId> entries_with_replica_on(net::NodeId node) const;
+
+  // Entries the repair service should revisit: remote entries below
+  // `replication` replicas, plus anything explicitly marked degraded
+  // (e.g. disk-fallback writes awaiting re-promotion).
+  std::vector<EntryId> repair_candidates(std::size_t replication) const;
 
   // Estimated resident metadata bytes (the §IV.C scalability arithmetic).
   std::uint64_t approx_bytes() const noexcept;

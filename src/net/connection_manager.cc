@@ -48,8 +48,33 @@ StatusOr<QueuePair*> ConnectionManager::ensure_data_channel(NodeId a,
     fabric_.destroy_connection(it->second.control_a);
     channels_.erase(it);
   }
+  // Backoff gate: while a pair is in its post-failure backoff window, fail
+  // fast instead of hammering a peer that was just unreachable. Dead-peer
+  // probing then costs one failed establish per window, not one per call.
+  if (retry_.enabled()) {
+    auto gate = backoff_.find(key);
+    if (gate != backoff_.end() &&
+        fabric_.simulator().now() < gate->second.not_before) {
+      ++metrics_.counter("cm.backoff_suppressed");
+      return UnavailableError("channel establish suppressed by backoff");
+    }
+  }
   ChannelPair pair;
-  DM_RETURN_IF_ERROR(establish(a, b, pair));
+  if (Status s = establish(a, b, pair); !s.ok()) {
+    ++metrics_.counter("cm.establish_failed");
+    if (retry_.enabled()) {
+      auto& gate = backoff_[key];
+      ++gate.failures;
+      const SimTime wait = retry_.backoff(
+          gate.failures, (static_cast<std::uint64_t>(a) << 32) | b);
+      gate.not_before = fabric_.simulator().now() + wait;
+      metrics_.histogram("net.backoff_ns")
+          .record(static_cast<std::uint64_t>(wait));
+    }
+    return s;
+  }
+  backoff_.erase(key);
+  ++metrics_.counter("cm.established");
   channels_.emplace(key, pair);
   return pair.data_a;
 }
@@ -69,6 +94,13 @@ void ConnectionManager::drop_node(NodeId node) {
       fabric_.destroy_connection(it->second.data_a);
       fabric_.destroy_connection(it->second.control_a);
       it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = backoff_.begin(); it != backoff_.end();) {
+    if (it->first.first == node || it->first.second == node) {
+      it = backoff_.erase(it);
     } else {
       ++it;
     }

@@ -17,8 +17,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "net/retry_policy.h"
 #include "net/rpc.h"
 
 namespace dm::net {
@@ -43,6 +45,17 @@ class ConnectionManager {
   // Tears down all channels touching `node` (on permanent decommission).
   void drop_node(NodeId node);
 
+  // Paces re-establishment toward unreachable peers: after an establish
+  // failure, further ensure_*() calls for that pair fail fast with
+  // kUnavailable until the capped-exponential backoff window expires
+  // (metrics: "cm.establish_failed", "cm.backoff_suppressed",
+  // "net.backoff_ns"). A disabled policy (the default) keeps the historical
+  // retry-on-every-call behavior.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
   std::size_t established_pairs() const noexcept { return channels_.size(); }
 
   // Repair and establish-failure events are logged at info (failures to
@@ -59,12 +72,20 @@ class ConnectionManager {
 
   using PairKey = std::pair<NodeId, NodeId>;  // ordered (a, b): a's view
 
+  struct BackoffState {
+    std::size_t failures = 0;
+    SimTime not_before = 0;
+  };
+
   Status establish(NodeId a, NodeId b, ChannelPair& out);
 
   Fabric& fabric_;
   Logger log_{"net.cm"};
+  RetryPolicy retry_;
+  MetricsRegistry metrics_;
   std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
   std::map<PairKey, ChannelPair> channels_;
+  std::map<PairKey, BackoffState> backoff_;
 };
 
 }  // namespace dm::net

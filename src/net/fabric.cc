@@ -8,7 +8,25 @@ namespace dm::net {
 Fabric::Fabric(sim::Simulator& simulator) : Fabric(simulator, Config{}) {}
 
 Fabric::Fabric(sim::Simulator& simulator, Config config)
-    : sim_(simulator), config_(config) {}
+    : sim_(simulator), config_(config), loss_rng_(config.loss_seed) {}
+
+void Fabric::set_latency_scale(double scale) noexcept {
+  latency_scale_ = scale < 0.0 ? 0.0 : scale;
+  ++metrics_.counter("fabric.latency_scale_changes");
+  trace("fabric.chaos", "latency scale -> " + std::to_string(latency_scale_));
+}
+
+void Fabric::set_message_loss(double probability) noexcept {
+  loss_probability_ =
+      probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0 : probability);
+  trace("fabric.chaos",
+        "message loss -> " + std::to_string(loss_probability_));
+}
+
+bool Fabric::should_drop_message() {
+  if (loss_probability_ <= 0.0) return false;
+  return loss_rng_.bernoulli(loss_probability_);
+}
 
 Fabric::~Fabric() = default;
 
@@ -138,15 +156,19 @@ StatusOr<SimTime> Fabric::model_transfer(NodeId src, NodeId dst,
   auto& s = *state_of(src);
   auto& d = *state_of(dst);
   const SimTime now = sim_.now();
-  // Serialize on the source NIC: the wire occupies bandwidth-time.
+  // Serialize on the source NIC: the wire occupies bandwidth-time. The
+  // latency scale models chaos-injected congestion/degradation windows.
   const double ns_per_byte = 1e9 / (cost.gib_per_s * static_cast<double>(GiB));
-  const auto wire_ns =
-      static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes));
+  const auto wire_ns = static_cast<SimTime>(
+      ns_per_byte * static_cast<double>(bytes) * latency_scale_);
+  const auto overhead_ns =
+      static_cast<SimTime>(static_cast<double>(cost.overhead_ns) *
+                           latency_scale_);
   const SimTime start = std::max(now, s.egress_free);
   // Per-message verb processing occupies the NIC alongside the wire time:
   // this is what makes one big batched message cheaper than many small ones
   // (the paper's §IV.H batching argument) and bounds the message rate.
-  s.egress_free = start + cost.overhead_ns + wire_ns;
+  s.egress_free = start + overhead_ns + wire_ns;
   const SimTime arrive_earliest =
       s.egress_free + config_.latency.link_propagation_ns;
   const SimTime arrival = std::max(arrive_earliest, d.ingress_free);
@@ -323,6 +345,23 @@ Status QueuePair::post_send(std::span<const std::byte> message,
       if (self != nullptr) self->error_ = true;
       if (done)
         done(Completion{UnavailableError("receiver gone"), deliver, 0});
+      return;
+    }
+    if (fabric.should_drop_message()) {
+      // Chaos packet loss: the message vanishes past the local NIC. The
+      // sender's ack still completes (it cannot tell), so the layer above
+      // only notices via its own timeout.
+      ++fabric.metrics().counter("fabric.msgs_dropped");
+      fabric.trace("fabric.drop", "node" + std::to_string(from) +
+                                      " -> node" + std::to_string(remote) +
+                                      ", " + std::to_string(nbytes) +
+                                      "B lost");
+      const SimTime acked =
+          deliver + fabric.config().latency.link_propagation_ns;
+      fabric.sim_.schedule_at(acked, [done = std::move(done), acked,
+                                      nbytes]() {
+        if (done) done(Completion{Status::Ok(), acked, nbytes});
+      });
       return;
     }
     peer->receive_handler_(from, std::span<const std::byte>(payload));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "net/rdma.h"
 #include "sim/latency_model.h"
@@ -84,6 +85,10 @@ class Fabric {
     // Delay before an operation against a down node/link errors out
     // (models RC retry exhaustion / keep-alive timeout).
     SimTime failure_detect_ns = 50 * kMicro;
+    // Seed for the message-loss draw stream (chaos scenarios). Loss draws
+    // only happen while a loss probability is set, so runs without chaos
+    // are bit-identical to pre-chaos builds.
+    std::uint64_t loss_seed = 0x10553;
   };
 
   explicit Fabric(sim::Simulator& simulator);
@@ -101,6 +106,18 @@ class Fabric {
   // fabric records verbs, registrations, and topology changes.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
   sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  // --- chaos knobs ---------------------------------------------------------
+  // Scales every transfer's NIC/wire time (latency-spike scenarios; 1.0 =
+  // nominal). Applies from the next posted operation.
+  void set_latency_scale(double scale) noexcept;
+  double latency_scale() const noexcept { return latency_scale_; }
+  // Probability that a two-sided SEND message is silently dropped at
+  // delivery (the sender's ack still completes, as with loss beyond the
+  // local NIC): the receiver never sees it and the RPC above times out.
+  // One-sided verbs are unaffected (RC retransmission hides loss there).
+  void set_message_loss(double probability) noexcept;
+  double message_loss() const noexcept { return loss_probability_; }
 
   // --- topology -----------------------------------------------------------
   void add_node(NodeId node);
@@ -148,6 +165,8 @@ class Fabric {
                                    const sim::CostModel& cost);
 
   bool path_up(NodeId src, NodeId dst) const;
+  // Loss draw for one delivered message (false when loss is disabled).
+  bool should_drop_message();
   void complete_with_error(QueuePair* qp, Status status,
                            CompletionCallback done);
   NodeState* state_of(NodeId node);
@@ -163,6 +182,9 @@ class Fabric {
   Config config_;
   MetricsRegistry metrics_;
   sim::Tracer* tracer_ = nullptr;
+  double latency_scale_ = 1.0;
+  double loss_probability_ = 0.0;
+  Rng loss_rng_;
   std::map<NodeId, NodeState> nodes_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
   std::unordered_map<QpId, std::unique_ptr<QueuePair>> qps_;

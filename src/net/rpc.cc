@@ -29,6 +29,67 @@ void RpcEndpoint::call(NodeId peer, RpcMethod method,
                        std::vector<std::byte> payload, SimTime timeout,
                        RpcResponseCallback done, TraceId trace) {
   if (trace == kNoTrace) trace = make_trace_id(self_, ++next_trace_);
+  if (!retry_.enabled()) {
+    call_once(peer, method, std::move(payload), timeout, std::move(done),
+              trace);
+    return;
+  }
+  // Retryable call: re-issue on retryable failures with capped exponential
+  // backoff. All attempts share the trace id (the causal chain shows the
+  // retries) and the salt decorrelating their jitter.
+  struct Attempt : std::enable_shared_from_this<Attempt> {
+    RpcEndpoint* self;
+    NodeId peer;
+    RpcMethod method;
+    std::vector<std::byte> payload;
+    SimTime timeout;
+    RpcResponseCallback done;
+    TraceId trace;
+    std::size_t attempt = 0;
+
+    void run() {
+      ++attempt;
+      auto keep = shared_from_this();
+      self->call_once(
+          peer, method, payload, timeout,
+          [keep](StatusOr<std::vector<std::byte>> result) {
+            const RetryPolicy& policy = keep->self->retry_;
+            if (result.ok() || keep->attempt >= policy.max_attempts ||
+                !policy.retryable(result.status().code())) {
+              keep->done(std::move(result));
+              return;
+            }
+            const SimTime wait = policy.backoff(keep->attempt, keep->trace);
+            ++keep->self->metrics_.counter("rpc.retries");
+            keep->self->metrics_.histogram("net.backoff_ns")
+                .record(static_cast<std::uint64_t>(wait));
+            keep->self->trace_event(
+                "rpc.retry",
+                "node" + std::to_string(keep->self->self_) + " " +
+                    keep->self->method_label(keep->method) + " attempt " +
+                    std::to_string(keep->attempt + 1) + " after " +
+                    std::to_string(wait) + "ns " +
+                    format_trace_id(keep->trace));
+            keep->self->sim_.schedule_after(wait,
+                                            [keep]() { keep->run(); });
+          },
+          trace);
+    }
+  };
+  auto state = std::make_shared<Attempt>();
+  state->self = this;
+  state->peer = peer;
+  state->method = method;
+  state->payload = std::move(payload);
+  state->timeout = timeout;
+  state->done = std::move(done);
+  state->trace = trace;
+  state->run();
+}
+
+void RpcEndpoint::call_once(NodeId peer, RpcMethod method,
+                            std::vector<std::byte> payload, SimTime timeout,
+                            RpcResponseCallback done, TraceId trace) {
   auto it = channels_.find(peer);
   if ((it == channels_.end() || it->second->in_error()) && repairer_) {
     (void)repairer_(peer);  // lazily establish / repair the channel

@@ -25,6 +25,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "net/retry_policy.h"
 #include "net/wire.h"
 
 namespace dm::net {
@@ -65,6 +66,16 @@ class RpcEndpoint {
     handlers_[method] = std::move(handler);
   }
 
+  // Installs the retry policy applied to every call() from this endpoint:
+  // a call that fails with a retryable code (see RetryPolicy::retryable) is
+  // re-issued after capped exponential backoff, up to max_attempts total,
+  // all attempts sharing one trace id and one timeout each. The default
+  // policy (max_attempts = 1) preserves single-shot semantics. Each retry
+  // bumps the "rpc.retries" counter and records its delay in the
+  // "net.backoff_ns" histogram.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
+
   // Invoked when a call finds no usable channel to a peer; typically bound
   // to ConnectionManager::ensure_control_channel so channels are created on
   // first use and repaired after failures. The repairer re-attaches the
@@ -103,6 +114,9 @@ class RpcEndpoint {
     bool settled = false;
   };
 
+  void call_once(NodeId peer, RpcMethod method,
+                 std::vector<std::byte> payload, SimTime timeout,
+                 RpcResponseCallback done, TraceId trace);
   void on_message(NodeId from, std::span<const std::byte> message);
   void settle(std::uint64_t call_id, StatusOr<std::vector<std::byte>> result);
   std::string method_label(RpcMethod method) const;
@@ -115,6 +129,7 @@ class RpcEndpoint {
   NodeId self_;
   MetricsRegistry metrics_;
   sim::Tracer* tracer_ = nullptr;
+  RetryPolicy retry_;
   std::unordered_map<RpcMethod, RpcHandler> handlers_;
   std::unordered_map<RpcMethod, std::string> labels_;
   std::function<Status(NodeId)> repairer_;

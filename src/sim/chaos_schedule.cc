@@ -1,0 +1,85 @@
+#include "sim/chaos_schedule.h"
+
+namespace dm::sim {
+
+ChaosSchedule::ChaosSchedule(FailureInjector& injector, Hooks hooks)
+    : injector_(injector), hooks_(std::move(hooks)) {}
+
+void ChaosSchedule::fire_crash(NodeRef node, SimTime outage, bool guarded) {
+  if (guarded && hooks_.can_crash && !hooks_.can_crash(node)) {
+    ++skipped_crashes_;
+    return;
+  }
+  ++crashes_fired_;
+  hooks_.crash_node(node);
+  injector_.at(injector_.simulator().now() + outage,
+               [this, node]() { hooks_.recover_node(node); });
+}
+
+void ChaosSchedule::crash(SimTime at, NodeRef node, SimTime outage) {
+  injector_.at(at, [this, node, outage]() {
+    fire_crash(node, outage, /*guarded=*/false);
+  });
+}
+
+void ChaosSchedule::partition(SimTime at, std::vector<NodeRef> side_a,
+                              std::vector<NodeRef> side_b,
+                              SimTime duration) {
+  auto flip = [this, side_a, side_b](bool up) {
+    for (NodeRef a : side_a) {
+      for (NodeRef b : side_b) {
+        hooks_.set_link_up(a, b, up);
+        hooks_.set_link_up(b, a, up);
+      }
+    }
+  };
+  injector_.outage(
+      at, duration,
+      [this, flip]() {
+        ++partitions_fired_;
+        flip(false);
+      },
+      [flip]() { flip(true); });
+}
+
+void ChaosSchedule::latency_spike(SimTime at, double scale,
+                                  SimTime duration) {
+  injector_.outage(
+      at, duration,
+      [this, scale]() {
+        ++latency_spikes_fired_;
+        hooks_.set_latency_scale(scale);
+      },
+      [this]() { hooks_.set_latency_scale(1.0); });
+}
+
+void ChaosSchedule::packet_loss(SimTime at, double probability,
+                                SimTime duration) {
+  injector_.outage(
+      at, duration,
+      [this, probability]() {
+        ++loss_windows_fired_;
+        hooks_.set_message_loss(probability);
+      },
+      [this]() { hooks_.set_message_loss(0.0); });
+}
+
+void ChaosSchedule::poisson_crash_storm(Rng& rng, SimTime start, SimTime stop,
+                                        SimTime mean_interval, SimTime outage,
+                                        std::vector<NodeRef> nodes) {
+  if (nodes.empty()) return;
+  // Arrival times and victims are all drawn now, so the storm script is
+  // fully determined by the caller's Rng state at this point.
+  SimTime t = start + static_cast<SimTime>(
+                          rng.exponential(static_cast<double>(mean_interval)));
+  while (t < stop) {
+    const NodeRef victim = nodes[rng.next_below(nodes.size())];
+    injector_.at(t, [this, victim, outage]() {
+      fire_crash(victim, outage, /*guarded=*/true);
+    });
+    t += static_cast<SimTime>(
+        rng.exponential(static_cast<double>(mean_interval)));
+  }
+}
+
+}  // namespace dm::sim

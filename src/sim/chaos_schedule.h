@@ -1,0 +1,99 @@
+// Declarative, seeded chaos scenarios on top of the FailureInjector.
+//
+// A ChaosSchedule turns "what can go wrong in the cluster" into a scripted,
+// reproducible scenario: node crashes with bounded outages, network
+// partitions between node sets, latency-spike windows, and packet-loss
+// windows, plus a Poisson crash/repair storm for soak tests. The schedule
+// itself knows nothing about the fabric or the membership layer — the
+// caller binds Hooks (typically to DmSystem::crash_node / recover_node and
+// Fabric::set_link_up / set_latency_scale / set_message_loss) and the
+// schedule fires them at virtual times.
+//
+// Determinism: all random draws (storm arrival times, victims, outage
+// jitter) happen at *schedule-build* time from the caller's seeded Rng, so
+// the full fault script is fixed before the first event fires and two runs
+// with the same seed inject byte-identical fault sequences. Only the
+// `can_crash` guard is consulted at fire time, letting tests veto a crash
+// that would violate an invariant (e.g. "never kill the last live replica")
+// without perturbing the draw stream.
+//
+// Lifetime: scheduled events capture `this`; the schedule must outlive the
+// simulation window it was built for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/failure_injector.h"
+
+namespace dm::sim {
+
+class ChaosSchedule {
+ public:
+  // Node ids are plain integers here (sim/ sits below net/); they match
+  // net::NodeId by value.
+  using NodeRef = std::uint32_t;
+
+  struct Hooks {
+    std::function<void(NodeRef)> crash_node;
+    std::function<void(NodeRef)> recover_node;
+    // Directed link control, applied in both directions by partition().
+    std::function<void(NodeRef, NodeRef, bool)> set_link_up;
+    std::function<void(double)> set_latency_scale;
+    std::function<void(double)> set_message_loss;
+    // Consulted immediately before a *storm* crash fires; returning false
+    // skips that crash (and its recovery). Unset = always allowed.
+    std::function<bool(NodeRef)> can_crash;
+  };
+
+  ChaosSchedule(FailureInjector& injector, Hooks hooks);
+
+  // --- declarative one-shot scenarios ---------------------------------------
+  // Crash `node` at `at`, recover it at `at + outage`.
+  void crash(SimTime at, NodeRef node, SimTime outage);
+  // Cut every link between side_a and side_b (both directions) for
+  // `duration`, then heal.
+  void partition(SimTime at, std::vector<NodeRef> side_a,
+                 std::vector<NodeRef> side_b, SimTime duration);
+  // Scale fabric latency by `scale` during [at, at + duration).
+  void latency_spike(SimTime at, double scale, SimTime duration);
+  // Drop control-plane messages with `probability` during [at, at+duration).
+  void packet_loss(SimTime at, double probability, SimTime duration);
+
+  // --- seeded storms --------------------------------------------------------
+  // Poisson crash/repair storm over `nodes` in [start, stop): crash events
+  // arrive with exponential inter-arrival `mean_interval`; each crash picks
+  // a uniform victim and recovers it after `outage`. Crashes whose guard
+  // (Hooks::can_crash) rejects the victim at fire time are counted in
+  // skipped_crashes() and leave the cluster untouched.
+  void poisson_crash_storm(Rng& rng, SimTime start, SimTime stop,
+                           SimTime mean_interval, SimTime outage,
+                           std::vector<NodeRef> nodes);
+
+  // --- accounting (asserted by chaos tests) ---------------------------------
+  std::uint64_t crashes_fired() const noexcept { return crashes_fired_; }
+  std::uint64_t skipped_crashes() const noexcept { return skipped_crashes_; }
+  std::uint64_t partitions_fired() const noexcept { return partitions_fired_; }
+  std::uint64_t latency_spikes_fired() const noexcept {
+    return latency_spikes_fired_;
+  }
+  std::uint64_t loss_windows_fired() const noexcept {
+    return loss_windows_fired_;
+  }
+
+ private:
+  void fire_crash(NodeRef node, SimTime outage, bool guarded);
+
+  FailureInjector& injector_;
+  Hooks hooks_;
+  std::uint64_t crashes_fired_ = 0;
+  std::uint64_t skipped_crashes_ = 0;
+  std::uint64_t partitions_fired_ = 0;
+  std::uint64_t latency_spikes_fired_ = 0;
+  std::uint64_t loss_windows_fired_ = 0;
+};
+
+}  // namespace dm::sim

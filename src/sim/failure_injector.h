@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "common/rng.h"
@@ -18,6 +19,8 @@ namespace dm::sim {
 class FailureInjector {
  public:
   explicit FailureInjector(Simulator& simulator) : sim_(simulator) {}
+
+  Simulator& simulator() noexcept { return sim_; }
 
   // One-shot fault at an absolute time.
   void at(SimTime when, std::function<void()> action) {
@@ -32,13 +35,18 @@ class FailureInjector {
   }
 
   // Poisson fault process: actions fire with exponential inter-arrival of
-  // the given mean, from `start` until `stop`.
+  // the given mean, from `start` until `stop`. The action is taken by value
+  // once and shared across every firing, so stateful actions (mutable
+  // lambdas carrying crash counters, toggles) see one accumulating state
+  // instead of a per-event copy of the initial state.
   void poisson(Rng& rng, SimTime start, SimTime stop, SimTime mean_interval,
                std::function<void()> action) {
+    auto shared =
+        std::make_shared<std::function<void()>>(std::move(action));
     SimTime t = start + static_cast<SimTime>(
                             rng.exponential(static_cast<double>(mean_interval)));
     while (t < stop) {
-      sim_.schedule_at(t, action);
+      sim_.schedule_at(t, [shared]() { (*shared)(); });
       t += static_cast<SimTime>(
           rng.exponential(static_cast<double>(mean_interval)));
     }

@@ -231,6 +231,13 @@ Status SwapManager::store_batch(
     return stored;
   }
   ++swap_outs_;
+  if (auto loc = client_.map().lookup(entry); loc.ok() && loc->degraded) {
+    // Degraded-mode store (§IV.D hardening): the batch is durable but below
+    // its intended placement — remote with a short replica set, or pushed
+    // to disk because remote memory was unreachable. The repair service
+    // restores the placement in the background; swapping continues.
+    ++metrics_.counter("swap.degraded_batches");
+  }
   metrics_.counter("swap.swapped_out_pages") += batch.pages.size();
   // Compression + staging + replicated store, end to end for one window.
   metrics_.histogram("swap.swapout_ns")

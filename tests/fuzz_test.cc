@@ -6,11 +6,14 @@
 #include <map>
 
 #include "common/rng.h"
+#include "core/dm_system.h"
+#include "core/repair_service.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 #include "sim/failure_injector.h"
+#include "workloads/page_content.h"
 
 namespace dm::net {
 namespace {
@@ -170,3 +173,104 @@ TEST_F(FuzzFixture, OneSidedOpsCompleteExactlyOnceUnderFaults) {
 
 }  // namespace
 }  // namespace dm::net
+
+// ---- system-level property invariants under random faults -------------------
+
+namespace dm::core {
+namespace {
+
+std::vector<std::byte> fuzz_page(std::uint64_t id) {
+  std::vector<std::byte> bytes(4096);
+  workloads::fill_page(bytes, id, 0.5, 7);
+  return bytes;
+}
+
+// Random operation sequence against a cluster whose node 2 flaps randomly,
+// checked against a shadow model. Property invariants:
+//   (1) every acknowledged live key stays readable with correct bytes once
+//       the cluster heals;
+//   (2) no committed remote location ever holds more replicas than the
+//       configured replication factor (repair/top-up must not over-shoot).
+TEST(SystemPropertyFuzz, LiveKeysReadableAndReplicasBounded) {
+  DmSystem::Config config;
+  config.node_count = 4;
+  config.node.shm.arena_bytes = 2 * MiB;
+  config.node.recv.arena_bytes = 8 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.replication = 2;
+  config.service.rdmc.min_replicas = 1;
+  config.rpc_retry.max_attempts = 2;
+  config.repair.enabled = true;
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.3;
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  // Flap only node 2: nodes 1 and 3 stay up, so with the min-replicas floor
+  // of 1 every remote entry keeps at least one live copy.
+  Rng flap_rng(9001);
+  bool node2_up = true;
+  system.failures().poisson(flap_rng, 0, 400 * kMilli, 40 * kMilli, [&]() {
+    node2_up = !node2_up;
+    if (node2_up)
+      system.recover_node(2);
+    else
+      system.crash_node(2);
+  });
+
+  Rng op_rng(4242);
+  std::map<mem::EntryId, std::uint64_t> shadow;
+  mem::EntryId next_key = 1;
+  const std::size_t replication = config.service.rdmc.replication;
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t dice = op_rng.next_below(10);
+    if (dice < 6 || shadow.empty()) {
+      const mem::EntryId key = next_key++;
+      if (client.put_sync(key, fuzz_page(key)).ok()) shadow[key] = key;
+    } else if (dice < 8) {
+      auto it = shadow.begin();
+      std::advance(it, op_rng.next_below(shadow.size()));
+      std::vector<std::byte> out(4096);
+      (void)client.get_sync(it->first, out);  // transient failures allowed
+    } else {
+      // Removes are only safe against reachable tiers mid-storm (freeing a
+      // remote replica on a down host is not atomic); local tiers always are.
+      auto it = shadow.begin();
+      std::advance(it, op_rng.next_below(shadow.size()));
+      auto loc = client.map().lookup(it->first);
+      if (loc.ok() && loc->tier != mem::Tier::kRemote &&
+          client.remove_sync(it->first).ok())
+        shadow.erase(it);
+    }
+    // Invariant (2) holds at every step, not just at the end.
+    client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+      EXPECT_LE(loc.replicas.size(), replication);
+    });
+    system.run_for(10 * kMilli);
+  }
+
+  // Heal and converge: membership re-detects node 2, repair scans restore
+  // placement.
+  if (!node2_up) system.recover_node(2);
+  system.run_for(15 * kSecond);
+  for (int round = 0; round < 4; ++round) {
+    bool scanned = false;
+    system.repair(0).scan_tick([&]() { scanned = true; });
+    ASSERT_TRUE(system.simulator().run_until_flag(scanned));
+    system.run_for(500 * kMilli);
+  }
+
+  ASSERT_GT(shadow.size(), 10u);
+  for (const auto& [key, content] : shadow) {
+    std::vector<std::byte> out(4096);
+    ASSERT_TRUE(client.get_sync(key, out).ok()) << "key " << key;
+    EXPECT_EQ(out, fuzz_page(content)) << "key " << key;
+  }
+  client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+    EXPECT_LE(loc.replicas.size(), replication);
+  });
+}
+
+}  // namespace
+}  // namespace dm::core

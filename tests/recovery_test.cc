@@ -1,0 +1,245 @@
+// Targeted fault-recovery regressions (§IV.D hardening): crash during a
+// replicated put, partition during a failover read, repair racing an
+// eviction, and backoff-capped retries ending in the degraded disk
+// fallback. Each scenario is deterministic — faults are scheduled at fixed
+// virtual times against a seeded cluster.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dm_system.h"
+#include "core/repair_service.h"
+#include "workloads/page_content.h"
+
+namespace dm::core {
+namespace {
+
+std::vector<std::byte> page_data(std::uint64_t id, double r = 0.5) {
+  std::vector<std::byte> bytes(4096);
+  workloads::fill_page(bytes, id, r, 7);
+  return bytes;
+}
+
+DmSystem::Config cluster_config(std::size_t nodes, std::size_t replication,
+                                std::size_t min_replicas = 0) {
+  DmSystem::Config config;
+  config.node_count = nodes;
+  config.node.shm.arena_bytes = 4 * MiB;
+  config.node.recv.arena_bytes = 8 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.replication = replication;
+  config.service.rdmc.min_replicas = min_replicas;
+  return config;
+}
+
+LdmcOptions remote_only() {
+  LdmcOptions options;
+  options.shm_fraction = 0.0;
+  options.allow_disk = false;
+  return options;
+}
+
+// A node crashing in the middle of the §IV.D replicated-put transaction
+// must leave no partial state: either the put commits (and the data is
+// readable, failing over around the crashed replica) or it rolls back (and
+// the entry is not mapped at all).
+TEST(RecoveryTest, CrashDuringReplicatedPutRollsBackOrCommits) {
+  DmSystem system(cluster_config(5, 3));
+  system.start();
+  auto& client = system.create_server(0, 64 * MiB, remote_only());
+
+  const auto data = page_data(1);
+  bool completed = false;
+  Status result;
+  client.put(1, data, [&](const Status& s) {
+    result = s;
+    completed = true;
+  });
+  // Mid-transaction: after placement + alloc RPCs have been issued, before
+  // all replica writes have settled.
+  system.simulator().schedule_at(system.simulator().now() + 30 * kMicro,
+                                 [&]() { system.crash_node(2); });
+  ASSERT_TRUE(system.simulator().run_until_flag(completed));
+
+  if (result.ok()) {
+    auto loc = client.map().lookup(1);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(loc->tier, mem::Tier::kRemote);
+    std::vector<std::byte> out(4096);
+    ASSERT_TRUE(client.get_sync(1, out).ok());
+    EXPECT_EQ(out, data);
+  } else {
+    // All-or-nothing: a failed transaction must not leave the entry mapped.
+    EXPECT_FALSE(client.map().contains(1));
+  }
+
+  // The cluster stays usable: after recovery and re-detection, a fresh put
+  // reaches the full factor.
+  system.recover_node(2);
+  system.run_for(10 * kSecond);
+  ASSERT_TRUE(client.put_sync(2, page_data(2)).ok());
+  EXPECT_EQ(client.map().lookup(2)->replicas.size(), 3u);
+}
+
+// A partition between the reader and the first replica host must cost one
+// failover hop, not an error: the read is served from the second replica.
+TEST(RecoveryTest, PartitionDuringFailoverRead) {
+  DmSystem system(cluster_config(4, 2));
+  system.start();
+  auto& client = system.create_server(0, 64 * MiB, remote_only());
+
+  const auto data = page_data(3);
+  ASSERT_TRUE(client.put_sync(3, data).ok());
+  auto loc = client.map().lookup(3);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_EQ(loc->replicas.size(), 2u);
+
+  const net::NodeId self = system.node(0).id();
+  const net::NodeId first = loc->replicas.front().node;
+  system.fabric().set_link_up(self, first, false);
+  system.fabric().set_link_up(first, self, false);
+
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(client.get_sync(3, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GE(system.node(0).recv_pool().metrics().counter_value(
+                "rdmc.read_failovers"),
+            1u);
+
+  // Healed: reads work again (from either side).
+  system.fabric().set_link_up(self, first, true);
+  system.fabric().set_link_up(first, self, true);
+  std::fill(out.begin(), out.end(), std::byte{0});
+  ASSERT_TRUE(client.get_sync(3, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+// Repair must never resurrect an entry the application removed while the
+// repair was in flight, and must free the blocks it provisionally wrote.
+TEST(RecoveryTest, RepairRacingEvictionDoesNotResurrect) {
+  DmSystem system(cluster_config(3, 2, /*min_replicas=*/1));
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.0;  // remote first, disk fallback allowed
+  auto& client = system.create_server(0, 64 * MiB, options);
+  const cluster::ServerId server = client.server();
+
+  // Cut node 0 off so the put degrades to disk.
+  const net::NodeId self = system.node(0).id();
+  for (std::size_t peer = 1; peer < 3; ++peer) {
+    system.fabric().set_link_up(self, system.node(peer).id(), false);
+    system.fabric().set_link_up(system.node(peer).id(), self, false);
+  }
+  ASSERT_TRUE(client.put_sync(7, page_data(7)).ok());
+  auto loc = client.map().lookup(7);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_EQ(loc->tier, mem::Tier::kDisk);
+  ASSERT_TRUE(loc->degraded);
+  for (std::size_t peer = 1; peer < 3; ++peer) {
+    system.fabric().set_link_up(self, system.node(peer).id(), true);
+    system.fabric().set_link_up(system.node(peer).id(), self, true);
+  }
+  system.run_for(1 * kSecond);
+
+  // Start the re-promotion, then remove the entry before it completes.
+  bool repaired = false;
+  system.service(0).repair_entry(server, 7,
+                                 [&](const Status&) { repaired = true; });
+  ASSERT_TRUE(client.remove_sync(7).ok());
+  ASSERT_TRUE(system.simulator().run_until_flag(repaired));
+  system.run_for(1 * kSecond);
+
+  EXPECT_FALSE(client.map().contains(7));
+  EXPECT_EQ(system.service(0).metrics().counter_value("ldms.repair_stale"),
+            1u);
+  // The provisional replicas were freed — no leaked hosted blocks anywhere.
+  std::size_t hosted = 0;
+  for (std::size_t i = 0; i < system.node_count(); ++i)
+    hosted += system.service(i).rdms().hosted_blocks();
+  EXPECT_EQ(hosted, 0u);
+}
+
+// When every remote candidate is dead, bounded retries with capped backoff
+// must end in the degraded disk fallback — not an error and not an
+// unbounded retry storm.
+TEST(RecoveryTest, BackoffCapReachedThenDiskFallback) {
+  auto config = cluster_config(3, 2);
+  config.rpc_retry.max_attempts = 4;
+  config.rpc_retry.base_backoff = 1 * kMilli;
+  config.rpc_retry.max_backoff = 2 * kMilli;  // cap reached by attempt 3
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.0;
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  // Both peers die; membership has not noticed yet, so placement still
+  // targets them and every alloc RPC must retry until the policy gives up.
+  system.crash_node(1);
+  system.crash_node(2);
+  ASSERT_TRUE(client.put_sync(9, page_data(9)).ok());
+
+  auto loc = client.map().lookup(9);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->tier, mem::Tier::kDisk);
+  EXPECT_TRUE(loc->degraded);
+  EXPECT_EQ(system.service(0).metrics().counter_value(
+                "ldms.degraded_to_disk"),
+            1u);
+
+  auto& rpc_metrics = system.node(0).rpc().metrics();
+  EXPECT_GE(rpc_metrics.counter_value("rpc.retries"), 2u);
+  const Histogram* backoff = rpc_metrics.find_histogram("net.backoff_ns");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_GE(backoff->count(), 2u);
+  // Capped: no recorded backoff exceeds the policy ceiling.
+  EXPECT_LE(backoff->max(),
+            static_cast<std::uint64_t>(config.rpc_retry.backoff_ceiling()));
+}
+
+// A degraded put (short replica set accepted under the min_replicas floor)
+// is topped back up to the full factor by the repair scan once capacity
+// returns, and the degraded flag clears.
+TEST(RecoveryTest, DegradedPutToppedUpByRepairScan) {
+  DmSystem system(cluster_config(4, 2, /*min_replicas=*/1));
+  system.start();
+  auto& client = system.create_server(0, 64 * MiB, remote_only());
+
+  // Lose all but one candidate, and let membership notice.
+  system.crash_node(2);
+  system.crash_node(3);
+  system.run_for(10 * kSecond);
+
+  ASSERT_TRUE(client.put_sync(11, page_data(11)).ok());
+  auto loc = client.map().lookup(11);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_EQ(loc->tier, mem::Tier::kRemote);
+  ASSERT_EQ(loc->replicas.size(), 1u);
+  ASSERT_TRUE(loc->degraded);
+  EXPECT_GE(system.service(0).metrics().counter_value(
+                "ldms.put_remote_degraded"),
+            1u);
+
+  // Capacity returns; one repair scan restores the factor.
+  system.recover_node(2);
+  system.recover_node(3);
+  system.run_for(10 * kSecond);
+  bool scanned = false;
+  system.repair(0).scan_tick([&]() { scanned = true; });
+  ASSERT_TRUE(system.simulator().run_until_flag(scanned));
+
+  loc = client.map().lookup(11);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->replicas.size(), 2u);
+  EXPECT_FALSE(loc->degraded);
+  EXPECT_GE(system.service(0).metrics().counter_value("repair.requeued"), 1u);
+  EXPECT_GE(system.service(0).metrics().counter_value("repair.completed"),
+            1u);
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(client.get_sync(11, out).ok());
+  EXPECT_EQ(out, page_data(11));
+}
+
+}  // namespace
+}  // namespace dm::core

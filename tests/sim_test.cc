@@ -1,9 +1,12 @@
 // Unit tests for the discrete-event simulator and failure injector.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/chaos_schedule.h"
 #include "sim/failure_injector.h"
 #include "sim/latency_model.h"
 #include "sim/simulator.h"
@@ -181,6 +184,152 @@ TEST(FailureInjectorTest, PoissonProducesEventsInWindow) {
   EXPECT_GT(count, 50);
   EXPECT_LT(count, 200);
   EXPECT_LT(last, 100000);
+}
+
+// Regression: the action used to be copied into every scheduled firing, so a
+// mutable lambda carrying state (crash counters, toggles) saw a fresh copy
+// of its initial state each time. The action must be shared.
+TEST(FailureInjectorTest, PoissonSharesStatefulActionAcrossFirings) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  Rng rng(7);
+  int observed_max = 0;
+  int total = 0;
+  inject.poisson(rng, 0, 50000, 1000,
+                 [&observed_max, &total, counter = 0]() mutable {
+                   ++counter;
+                   ++total;
+                   observed_max = std::max(observed_max, counter);
+                 });
+  sim.run();
+  ASSERT_GT(total, 1);
+  // With a per-event copy the counter would reset to 0 before each firing
+  // and observed_max would stay 1.
+  EXPECT_EQ(observed_max, total);
+}
+
+// ---- chaos schedule --------------------------------------------------------
+
+struct ChaosRecorder {
+  std::vector<std::pair<SimTime, std::string>> events;
+
+  ChaosSchedule::Hooks hooks(Simulator& sim) {
+    ChaosSchedule::Hooks h;
+    h.crash_node = [this, &sim](ChaosSchedule::NodeRef n) {
+      events.emplace_back(sim.now(), "crash " + std::to_string(n));
+    };
+    h.recover_node = [this, &sim](ChaosSchedule::NodeRef n) {
+      events.emplace_back(sim.now(), "recover " + std::to_string(n));
+    };
+    h.set_link_up = [this, &sim](ChaosSchedule::NodeRef a,
+                                 ChaosSchedule::NodeRef b, bool up) {
+      events.emplace_back(sim.now(), std::string(up ? "up " : "down ") +
+                                         std::to_string(a) + "-" +
+                                         std::to_string(b));
+    };
+    h.set_latency_scale = [this, &sim](double scale) {
+      events.emplace_back(sim.now(),
+                          "latency " + std::to_string(scale));
+    };
+    h.set_message_loss = [this, &sim](double p) {
+      events.emplace_back(sim.now(), "loss " + std::to_string(p));
+    };
+    return h;
+  }
+};
+
+TEST(ChaosScheduleTest, CrashFiresAndRecoversOnTime) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  ChaosRecorder rec;
+  ChaosSchedule chaos(inject, rec.hooks(sim));
+  chaos.crash(100, 3, 50);
+  sim.run();
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[0], (std::pair<SimTime, std::string>{100, "crash 3"}));
+  EXPECT_EQ(rec.events[1],
+            (std::pair<SimTime, std::string>{150, "recover 3"}));
+  EXPECT_EQ(chaos.crashes_fired(), 1u);
+  EXPECT_EQ(chaos.skipped_crashes(), 0u);
+}
+
+TEST(ChaosScheduleTest, PartitionCutsEveryCrossLinkBothWaysThenHeals) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  ChaosRecorder rec;
+  ChaosSchedule chaos(inject, rec.hooks(sim));
+  chaos.partition(10, {0, 1}, {2}, 30);
+  sim.run();
+  // 2 cross pairs x 2 directions, once down and once up.
+  std::size_t downs = 0, ups = 0;
+  for (const auto& [when, what] : rec.events) {
+    if (what.rfind("down ", 0) == 0) {
+      EXPECT_EQ(when, 10);
+      ++downs;
+    } else if (what.rfind("up ", 0) == 0) {
+      EXPECT_EQ(when, 40);
+      ++ups;
+    }
+  }
+  EXPECT_EQ(downs, 4u);
+  EXPECT_EQ(ups, 4u);
+  EXPECT_EQ(chaos.partitions_fired(), 1u);
+}
+
+TEST(ChaosScheduleTest, LatencyAndLossWindowsRestoreNominal) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  ChaosRecorder rec;
+  ChaosSchedule chaos(inject, rec.hooks(sim));
+  chaos.latency_spike(100, 8.0, 50);
+  chaos.packet_loss(200, 0.25, 50);
+  sim.run();
+  ASSERT_EQ(rec.events.size(), 4u);
+  EXPECT_EQ(rec.events[0].second, "latency " + std::to_string(8.0));
+  EXPECT_EQ(rec.events[1].second, "latency " + std::to_string(1.0));
+  EXPECT_EQ(rec.events[2].second, "loss " + std::to_string(0.25));
+  EXPECT_EQ(rec.events[3].second, "loss " + std::to_string(0.0));
+  EXPECT_EQ(chaos.latency_spikes_fired(), 1u);
+  EXPECT_EQ(chaos.loss_windows_fired(), 1u);
+}
+
+TEST(ChaosScheduleTest, StormIsDeterministicForASeed) {
+  auto run_storm = [](std::uint64_t seed) {
+    Simulator sim;
+    FailureInjector inject(sim);
+    ChaosRecorder rec;
+    ChaosSchedule chaos(inject, rec.hooks(sim));
+    Rng rng(seed);
+    chaos.poisson_crash_storm(rng, 0, 200 * kMilli, 10 * kMilli, 2 * kMilli,
+                              {1, 2, 3, 4});
+    sim.run();
+    return rec.events;
+  };
+  const auto a = run_storm(42);
+  const auto b = run_storm(42);
+  const auto c = run_storm(43);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ChaosScheduleTest, GuardVetoesCrashWithoutPerturbingSchedule) {
+  Simulator sim;
+  FailureInjector inject(sim);
+  ChaosRecorder rec;
+  auto hooks = rec.hooks(sim);
+  hooks.can_crash = [](ChaosSchedule::NodeRef n) { return n != 2; };
+  ChaosSchedule chaos(inject, hooks);
+  Rng rng(5);
+  chaos.poisson_crash_storm(rng, 0, 500 * kMilli, 10 * kMilli, 2 * kMilli,
+                            {1, 2, 3});
+  sim.run();
+  EXPECT_GT(chaos.skipped_crashes(), 0u);
+  EXPECT_GT(chaos.crashes_fired(), 0u);
+  for (const auto& [when, what] : rec.events) {
+    EXPECT_NE(what, "crash 2");
+    EXPECT_NE(what, "recover 2");
+  }
 }
 
 // ---- tracer ---------------------------------------------------------------
