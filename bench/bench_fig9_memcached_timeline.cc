@@ -33,6 +33,7 @@ int main() {
   std::vector<std::string> order;
   bench::BenchJson snapshots("fig9_memcached_timeline");
   for (auto kind : {swap::SystemKind::kFastSwap,
+                    swap::SystemKind::kFastSwapAdaptive,
                     swap::SystemKind::kFastSwapNoPbs,
                     swap::SystemKind::kInfiniswap}) {
     auto setup = swap::make_system(kind, kResident);
@@ -70,11 +71,11 @@ int main() {
                 snapshots.path().c_str());
 
   std::printf("%8s", "t(ms)");
-  for (const auto& name : order) std::printf(" %16s", name.c_str());
+  for (const auto& name : order) std::printf(" %18s", name.c_str());
   std::printf("   (kops/s per window)\n");
   for (std::size_t w = 0; w < windows; ++w) {
     std::printf("%8llu", static_cast<unsigned long long>((w + 1) * 12));
-    for (const auto& name : order) std::printf(" %16.1f", series[name][w]);
+    for (const auto& name : order) std::printf(" %18.1f", series[name][w]);
     std::printf("\n");
   }
 

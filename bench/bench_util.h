@@ -7,6 +7,7 @@
 // *ratios* are the reproduction target and are printed alongside.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -64,10 +65,40 @@ inline SwapRig make_swap_rig(const swap::SystemSetup& setup,
   return rig;
 }
 
+// RFC 8259 string escaping for the hand-rolled JSON emitters: system names
+// like `FastSwap "tuned"` or metric labels with backslashes must not
+// produce unparseable output.
+inline std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 // Collects one MetricsHub snapshot per system under test and writes them
 // as "BENCH_<name>.json" in the working directory, giving every bench a
 // machine-readable companion to its printed table — including the
 // per-tier latency percentiles ("node.0.ldms.get_ns.<tier>" etc.).
+// Keys are escaped and emitted in sorted order so two runs of the same
+// bench diff cleanly.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
@@ -81,12 +112,15 @@ class BenchJson {
   bool write() const {
     FILE* f = std::fopen(path().c_str(), "w");
     if (f == nullptr) return false;
+    auto sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     std::fprintf(f, "{\n\"bench\": \"%s\",\n\"systems\": {\n",
-                 bench_.c_str());
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "\"%s\": %s%s", entries_[i].first.c_str(),
-                   entries_[i].second.c_str(),
-                   i + 1 < entries_.size() ? ",\n" : "\n");
+                 json_escape(bench_).c_str());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      std::fprintf(f, "\"%s\": %s%s", json_escape(sorted[i].first).c_str(),
+                   sorted[i].second.c_str(),
+                   i + 1 < sorted.size() ? ",\n" : "\n");
     }
     std::fprintf(f, "}\n}\n");
     std::fclose(f);

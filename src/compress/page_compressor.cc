@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 namespace dm::compress {
@@ -58,6 +59,23 @@ std::size_t zswap_zbud_footprint(std::size_t compressed_size) noexcept {
   // zbud pairs two buddies per frame when each fits half a frame.
   if (compressed_size <= kPageSize / 2) return kPageSize / 2;
   return kPageSize;
+}
+
+double sample_entropy(std::span<const std::byte> data,
+                      std::size_t probe_bytes) noexcept {
+  const std::size_t n = std::min(probe_bytes, data.size());
+  if (n == 0) return 0.0;
+  std::array<std::uint32_t, 256> counts{};
+  for (std::size_t i = 0; i < n; ++i)
+    ++counts[static_cast<std::uint8_t>(data[i])];
+  double entropy = 0.0;
+  const double total = static_cast<double>(n);
+  for (std::uint32_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
 }
 
 }  // namespace dm::compress

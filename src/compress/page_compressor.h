@@ -68,4 +68,13 @@ class PageCompressor {
 // otherwise.
 std::size_t zswap_zbud_footprint(std::size_t compressed_size) noexcept;
 
+// Shannon entropy of the first `probe_bytes` of `data`, in bits per byte
+// (0.0 for constant data, 8.0 for uniformly random bytes). This is the
+// lightweight compressibility probe behind the swap path's compression
+// admission control (Fig 4's compressibility knob, read the cheap way):
+// a page whose prefix entropy is near 8 will not fit any sub-page bucket,
+// so the LZ pass can be skipped outright.
+double sample_entropy(std::span<const std::byte> data,
+                      std::size_t probe_bytes) noexcept;
+
 }  // namespace dm::compress

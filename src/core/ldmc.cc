@@ -127,6 +127,15 @@ Status Ldmc::wait(const bool& flag, const Status& result) {
   return result;
 }
 
+Status Ldmc::drain_until(const std::function<bool()>& done) {
+  auto& sim = service_.node().simulator();
+  while (!done()) {
+    if (!sim.step())
+      return InternalError("simulation ran dry while draining completions");
+  }
+  return Status::Ok();
+}
+
 Status Ldmc::put_sync(mem::EntryId entry, std::span<const std::byte> data) {
   bool completed = false;
   Status result;

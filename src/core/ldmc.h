@@ -60,6 +60,12 @@ class Ldmc {
                         std::span<std::byte> out);
   Status remove_sync(mem::EntryId entry);
 
+  // Drives the simulator until `done()` holds. Unlike run_until_flag this
+  // takes an arbitrary predicate, so callers with several operations in
+  // flight (the swap layer's write-back staging buffer) can wait for a
+  // compound condition. Errors if the event queue runs dry first.
+  Status drain_until(const std::function<bool()>& done);
+
   StatusOr<std::size_t> stored_size(mem::EntryId entry) const;
   bool contains(mem::EntryId entry) const { return map_.contains(entry); }
 

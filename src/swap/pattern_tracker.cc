@@ -1,0 +1,117 @@
+#include "swap/pattern_tracker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dm::swap {
+
+std::string_view to_string(AccessPattern pattern) noexcept {
+  switch (pattern) {
+    case AccessPattern::kUnknown: return "unknown";
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kRandom: return "random";
+  }
+  return "?";
+}
+
+PatternTracker::PatternTracker(std::size_t history, std::int64_t max_stride)
+    : deltas_(std::max<std::size_t>(history, 2)),
+      max_stride_(std::max<std::int64_t>(max_stride, 1)) {}
+
+void PatternTracker::record(std::uint64_t page) {
+  if (has_last_) {
+    deltas_[head_] = static_cast<std::int64_t>(page) -
+                     static_cast<std::int64_t>(last_page_);
+    head_ = (head_ + 1) % deltas_.size();
+    if (head_ == 0) full_ = true;
+  }
+  last_page_ = page;
+  has_last_ = true;
+}
+
+AccessPattern PatternTracker::classify() const {
+  const std::size_t n = samples();
+  if (n < kMinSamples) return AccessPattern::kUnknown;
+
+  std::unordered_map<std::int64_t, std::size_t> freq;
+  std::int64_t best_delta = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t d = deltas_[i];
+    const std::size_t count = ++freq[d];
+    if (count > best_count) {
+      best_count = count;
+      best_delta = d;
+    }
+  }
+  const double dominance =
+      static_cast<double>(best_count) / static_cast<double>(n);
+  if (dominance >= kDominance && best_delta != 0)
+    return best_delta == 1 ? AccessPattern::kSequential
+                           : AccessPattern::kStrided;
+  // No single delta dominates — check for a forward stream. PBS subsamples
+  // a sequential scan at batch boundaries (the intervening pages never
+  // fault), so the fault deltas are a mix of small positive strides.
+  std::size_t forward = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (deltas_[i] >= 1 && deltas_[i] <= max_stride_) ++forward;
+  if (static_cast<double>(forward) / static_cast<double>(n) >= kDominance)
+    return AccessPattern::kSequential;
+  return AccessPattern::kRandom;
+}
+
+std::int64_t PatternTracker::dominant_stride() const {
+  switch (classify()) {
+    case AccessPattern::kSequential:
+    case AccessPattern::kStrided: break;
+    default: return 0;
+  }
+  const std::size_t n = samples();
+  std::unordered_map<std::int64_t, std::size_t> freq;
+  std::int64_t best_delta = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t count = ++freq[deltas_[i]];
+    if (count > best_count) {
+      best_count = count;
+      best_delta = deltas_[i];
+    }
+  }
+  return best_delta;
+}
+
+AdaptiveWindow::AdaptiveWindow(Config config)
+    : config_(config),
+      window_(std::clamp(config.start_pages, config.min_pages,
+                         config.max_pages)) {}
+
+std::size_t AdaptiveWindow::update(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential:
+      shrink_streak_ = 0;
+      if (++grow_streak_ >= config_.hysteresis) {
+        grow_streak_ = 0;
+        window_ = std::min(window_ * 2, config_.max_pages);
+      }
+      break;
+    case AccessPattern::kRandom:
+      grow_streak_ = 0;
+      if (++shrink_streak_ >= config_.hysteresis) {
+        shrink_streak_ = 0;
+        window_ = std::max(window_ / 2, config_.min_pages);
+      }
+      break;
+    case AccessPattern::kStrided:
+      // A real pattern, but fetching +1 neighbours does not serve it;
+      // hold the window and break both streaks.
+      grow_streak_ = 0;
+      shrink_streak_ = 0;
+      break;
+    case AccessPattern::kUnknown:
+      break;
+  }
+  return window_;
+}
+
+}  // namespace dm::swap

@@ -1,0 +1,98 @@
+// Access-pattern tracking for the adaptive swap path (§IV.H hardening).
+//
+// Leap-style classification (Maruf & Chowdhury): the tracker keeps the
+// deltas between recent fault addresses and labels the stream
+//
+//   sequential  — a dominant fraction of deltas are +1 page, OR a dominant
+//                 fraction are small positive strides (<= max_stride).
+//                 The second rule matters under PBS: batch swap-in
+//                 subsamples a sequential scan at batch boundaries, so the
+//                 *fault* stream shows mixed deltas of 1..window even
+//                 though the access stream is perfectly sequential.
+//   strided     — a dominant fraction share one non-unit stride
+//   random      — no dominant delta and no forward stream
+//   unknown     — too few samples to call (cold start)
+//
+// The AdaptiveWindow consumes one classification per fault and sizes the
+// swap-out window / swap-in fan-out with hysteresis: it takes `hysteresis`
+// consecutive sequential calls to double the window and the same number of
+// random calls to halve it, so a single stray fault cannot thrash the
+// policy. Both classes are pure state machines — no clock, no I/O — which
+// is what lets the model checker in tests/model_test.cc replay them as the
+// oracle's reference policy.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dm::swap {
+
+enum class AccessPattern { kUnknown, kSequential, kStrided, kRandom };
+
+std::string_view to_string(AccessPattern pattern) noexcept;
+
+class PatternTracker {
+ public:
+  // `history` is the number of recent deltas considered (>= 2).
+  // `max_stride` bounds the deltas the forward-streaming rule accepts as
+  // sequential (natural choice: the maximum swap-in window).
+  explicit PatternTracker(std::size_t history = 32,
+                          std::int64_t max_stride = 32);
+
+  // Records one fault address (page number).
+  void record(std::uint64_t page);
+
+  // Classifies the recorded stream. kUnknown until `min_samples()` deltas
+  // have been seen.
+  AccessPattern classify() const;
+
+  // The plurality delta behind a kSequential/kStrided verdict (for a
+  // forward-stream sequential verdict this is the most common positive
+  // delta, not necessarily 1); 0 when the stream is random or unknown.
+  std::int64_t dominant_stride() const;
+
+  std::size_t samples() const noexcept { return full_ ? deltas_.size() : head_; }
+  std::size_t min_samples() const noexcept { return kMinSamples; }
+
+ private:
+  static constexpr std::size_t kMinSamples = 8;
+  // A pattern needs this fraction of recent deltas to win.
+  static constexpr double kDominance = 0.7;
+
+  std::vector<std::int64_t> deltas_;  // ring buffer
+  std::int64_t max_stride_;
+  std::size_t head_ = 0;
+  bool full_ = false;
+  std::uint64_t last_page_ = 0;
+  bool has_last_ = false;
+};
+
+class AdaptiveWindow {
+ public:
+  struct Config {
+    std::size_t min_pages = 1;
+    std::size_t max_pages = 32;
+    std::size_t start_pages = 8;
+    // Consecutive same-direction classifications required before resizing.
+    std::size_t hysteresis = 4;
+  };
+
+  explicit AdaptiveWindow(Config config);
+
+  // Feeds one per-fault classification; returns the (possibly resized)
+  // window. Sequential grows (x2 up to max), random shrinks (/2 down to
+  // min); strided holds the window but breaks both streaks; unknown is
+  // inert.
+  std::size_t update(AccessPattern pattern);
+
+  std::size_t current() const noexcept { return window_; }
+
+ private:
+  Config config_;
+  std::size_t window_;
+  std::size_t grow_streak_ = 0;
+  std::size_t shrink_streak_ = 0;
+};
+
+}  // namespace dm::swap

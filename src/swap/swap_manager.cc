@@ -19,17 +19,62 @@ SwapManager::SwapManager(core::Ldmc& client, Config config,
     : client_(client), config_(config), content_(std::move(content)),
       compressor_(granularity_of(config.compression)) {
   if (config_.zswap_pool_bytes > 0) zswap_.emplace(config_.zswap_pool_bytes);
+  if (config_.adaptive_pbs) {
+    // Cap the window so a PBS restore can always fit the resident budget
+    // (make_room(w) must terminate with frames to spare).
+    config_.max_batch_pages = std::max<std::size_t>(
+        config_.min_batch_pages,
+        std::min<std::size_t>(config_.max_batch_pages,
+                              config_.resident_pages / 2));
+    pattern_.emplace(config_.pattern_history,
+                     static_cast<std::int64_t>(config_.max_batch_pages));
+    window_.emplace(AdaptiveWindow::Config{
+        config_.min_batch_pages, config_.max_batch_pages,
+        std::clamp(config_.batch_pages, config_.min_batch_pages,
+                   config_.max_batch_pages),
+        config_.pattern_hysteresis});
+  }
   // Backup region: top half of the node's swap disk (never read back; it
   // models Infiniswap's asynchronous durability path).
   backup_cursor_ = client_.service().node().disk().capacity() / 2;
 }
+
+SwapManager::~SwapManager() { *alive_ = false; }
 
 void SwapManager::charge(SimTime cost) {
   auto& sim = client_.service().node().simulator();
   sim.run_until(sim.now() + cost);
 }
 
+std::size_t SwapManager::current_window() const noexcept {
+  return window_ ? window_->current() : config_.batch_pages;
+}
+
+AccessPattern SwapManager::current_pattern() const noexcept {
+  return pattern_ ? pattern_->classify() : AccessPattern::kUnknown;
+}
+
+void SwapManager::observe_fault(std::uint64_t page) {
+  pattern_->record(page);
+  const AccessPattern verdict = pattern_->classify();
+  ++metrics_.counter(std::string("swap.pattern.") +
+                     std::string(to_string(verdict)));
+  const std::size_t window = window_->update(verdict);
+  metrics_.histogram("swap.pbs.window")
+      .record(static_cast<std::uint64_t>(window));
+}
+
+bool SwapManager::pbs_fanout_suppressed() {
+  if (!config_.adaptive_pbs) return false;
+  if (pattern_->classify() != AccessPattern::kRandom) return false;
+  ++metrics_.counter("swap.pbs.fanout_skips");
+  return true;
+}
+
 Status SwapManager::touch(std::uint64_t page, bool write) {
+  // Safe point: roll back any write-back flush that failed while previous
+  // faults were in flight (pages return resident+dirty, nothing is lost).
+  if (wb_enabled()) (void)wb_process_failures();
   auto& latency = client_.service().node().fabric().config().latency;
   auto it = resident_.find(page);
   if (it != resident_.end()) {
@@ -43,18 +88,20 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
     return Status::Ok();
   }
   ++faults_;
+  if (config_.adaptive_pbs) observe_fault(page);
   // Fault latency by service path, in virtual time: the zswap pool hit,
-  // the backend fault (whatever tier the batch entry lives in), and the
-  // demand-content cold fault. The spread between these histograms is the
-  // paper's Fig 9 tier story in one snapshot.
+  // the write-back staging hit, the backend fault (whatever tier the batch
+  // entry lives in), and the demand-content cold fault. The spread between
+  // these histograms is the paper's Fig 9 tier story in one snapshot.
   auto& sim = client_.service().node().simulator();
   const SimTime fault_started = sim.now();
   const char* path = nullptr;
   if (zswap_ && zswap_->contains(page)) {
     path = "zswap";
     DM_RETURN_IF_ERROR(fault_in_zswap(page));
-  } else if (backed_.count(page) > 0) {
-    path = "backend";
+  } else if (auto backing = backed_.find(page); backing != backed_.end()) {
+    path = wb_enabled() && wb_.count(backing->second.batch) > 0 ? "wb"
+                                                                : "backend";
     DM_RETURN_IF_ERROR(fault_in(page));
   } else {
     // First touch: demand-zero (well, demand-content) fault.
@@ -87,6 +134,22 @@ Status SwapManager::invalidate_backing(std::uint64_t page) {
     return InternalError("backing references unknown batch");
   auto& members = batch_it->second.pages;
   members.erase(std::find(members.begin(), members.end(), page));
+  if (auto wb_it = wb_.find(entry); wb_it != wb_.end()) {
+    // Rewrite of a page whose batch is still staged: the stale copy is
+    // coalesced away before it ever costs a remote put.
+    ++metrics_.counter("swap.wb.coalesced");
+    if (members.empty()) {
+      batches_.erase(batch_it);
+      if (wb_it->second.in_flight) {
+        // Too late to cancel the put; remove the entry once it lands.
+        wb_it->second.remove_after = true;
+      } else {
+        wb_.erase(wb_it);
+        ++metrics_.counter("swap.wb.cancelled_batches");
+      }
+    }
+    return Status::Ok();
+  }
   if (members.empty()) {
     batches_.erase(batch_it);
     DM_RETURN_IF_ERROR(client_.remove_sync(entry));
@@ -108,9 +171,10 @@ Status SwapManager::evict_for_space() {
   // walk early: stopping at the first clean page would fragment the dirty
   // write-out into tiny batches and destroy the §IV.H clustering (and the
   // Linux baseline's write clustering with it).
+  const std::size_t window = current_window();
   std::vector<std::uint64_t> to_write;
   bool freed_any = false;
-  while (to_write.size() < config_.batch_pages && !lru_.empty()) {
+  while (to_write.size() < window && !lru_.empty()) {
     auto victim = lru_.evict_lru();
     if (!victim) break;
     const std::uint64_t page = *victim;
@@ -164,8 +228,6 @@ Status SwapManager::store_batch(
   // the cluster-wide DM send buffer), then handed to the LDMC in one piece.
   auto& sim = client_.service().node().simulator();
   const SimTime batch_started = sim.now();
-  auto& staging = client_.service().node().send_pool();
-  staging.reset();
   std::vector<std::byte> buffer;
   buffer.reserve(pages.size() * kPageBytes);
   BatchInfo batch;
@@ -177,9 +239,28 @@ Status SwapManager::store_batch(
     Backing info;
     info.batch = entry;
     info.offset = static_cast<std::uint32_t>(buffer.size());
+    bool admit = true;
+    if (config_.compression != CompressionMode::kOff &&
+        config_.compression_admission) {
+      // Admission control: probe the prefix entropy; an incompressible
+      // page skips the LZ pass and is stored raw (it would have fallen
+      // back to raw after burning compress_ns anyway).
+      charge(config_.admission_probe_ns);
+      const double entropy =
+          compress::sample_entropy(bytes, config_.admission_probe_bytes);
+      admit = entropy <= config_.admission_max_entropy;
+      ++metrics_.counter(admit ? "swap.admit.accept" : "swap.admit.skip");
+    }
     if (config_.compression == CompressionMode::kOff) {
       info.length = kPageBytes;
       buffer.insert(buffer.end(), bytes.begin(), bytes.end());
+    } else if (!admit) {
+      info.compressed = true;
+      info.raw = true;
+      info.length = kPageBytes;
+      buffer.insert(buffer.end(), bytes.begin(), bytes.end());
+      metrics_.counter("swap.compressed_bytes") += kPageBytes;
+      metrics_.counter("swap.logical_bytes") += kPageBytes;
     } else {
       charge(config_.compress_ns);
       auto compressed = compressor_.compress(bytes);
@@ -194,11 +275,17 @@ Status SwapManager::store_batch(
     backed_.emplace(page, info);
     batch.pages.push_back(page);
   }
-  batches_.emplace(entry, batch);
+  const std::size_t batch_pages = batch.pages.size();
+  batches_.emplace(entry, std::move(batch));
+
+  if (wb_enabled())
+    return wb_stage(entry, std::move(buffer), batch_started, batch_pages);
 
   // Stage the assembled batch; falls back to the local vector if the
   // window exceeds the pool (functional behaviour is identical — the pool
   // models the reserved send-side memory of §IV.B).
+  auto& staging = client_.service().node().send_pool();
+  staging.reset();
   std::span<const std::byte> outgoing = buffer;
   if (auto staged = staging.stage(buffer.size()); staged.ok()) {
     std::memcpy(staged->data(), buffer.data(), buffer.size());
@@ -210,7 +297,7 @@ Status SwapManager::store_batch(
     // Roll back: restore the victims as resident from the staged buffer.
     // (For zswap writebacks "resident" is a safe over-approximation: the
     // pages re-enter the LRU dirty and will be retried.)
-    for (std::uint64_t page : batch.pages) {
+    for (std::uint64_t page : batches_.at(entry).pages) {
       const Backing info = backed_.at(page);
       std::vector<std::byte> bytes(kPageBytes);
       if (info.compressed && !info.raw) {
@@ -238,7 +325,7 @@ Status SwapManager::store_batch(
     // restores the placement in the background; swapping continues.
     ++metrics_.counter("swap.degraded_batches");
   }
-  metrics_.counter("swap.swapped_out_pages") += batch.pages.size();
+  metrics_.counter("swap.swapped_out_pages") += batch_pages;
   // Compression + staging + replicated store, end to end for one window.
   metrics_.histogram("swap.swapout_ns")
       .record(static_cast<std::uint64_t>(sim.now() - batch_started));
@@ -247,7 +334,7 @@ Status SwapManager::store_batch(
     // Asynchronous full-page backup writes (Infiniswap durability path);
     // they queue on the disk but do not block the fault path.
     auto& disk = client_.service().node().disk();
-    for (std::size_t i = 0; i < batch.pages.size(); ++i) {
+    for (std::size_t i = 0; i < batch_pages; ++i) {
       if (backup_cursor_ + kPageBytes > disk.capacity())
         backup_cursor_ = disk.capacity() / 2;
       std::vector<std::byte> copy(kPageBytes);
@@ -257,6 +344,163 @@ Status SwapManager::store_batch(
     }
   }
   return Status::Ok();
+}
+
+Status SwapManager::wb_stage(mem::EntryId entry,
+                             std::vector<std::byte> buffer,
+                             SimTime batch_started, std::size_t batch_pages) {
+  auto& sim = client_.service().node().simulator();
+  WbBatch staged;
+  staged.buffer = std::move(buffer);
+  wb_.emplace(entry, std::move(staged));
+  wb_order_.push_back(entry);
+  ++metrics_.counter("swap.wb.staged");
+  // The pages left residency: the swap-out happened from the paging
+  // layer's point of view, even though the put is deferred.
+  ++swap_outs_;
+  metrics_.counter("swap.swapped_out_pages") += batch_pages;
+  metrics_.histogram("swap.swapout_ns")
+      .record(static_cast<std::uint64_t>(sim.now() - batch_started));
+
+  // Deadline flush: the batch goes out within writeback_flush_delay even
+  // if no pressure builds (bounds the crash-exposure window).
+  auto alive = alive_;
+  sim.schedule_after(config_.writeback_flush_delay,
+                     [this, alive, entry]() {
+                       if (!*alive) return;
+                       wb_flush_entry(entry);
+                     });
+
+  // Bounded buffer: when the bound is exceeded, push the oldest staged
+  // batch out and wait until the buffer is back under it.
+  while (wb_.size() > config_.writeback_batches) {
+    for (mem::EntryId id : wb_order_) {
+      auto it = wb_.find(id);
+      if (it != wb_.end() && !it->second.in_flight) {
+        wb_flush_entry(id);
+        break;
+      }
+    }
+    if (wb_inflight_ == 0) break;  // nothing to wait for
+    Status drained = client_.drain_until([this]() {
+      return wb_.size() <= config_.writeback_batches || wb_inflight_ == 0;
+    });
+    DM_RETURN_IF_ERROR(drained);
+    // Flush failures are deferred to the next safe point; the failed
+    // batches already left wb_, so the bound is honoured either way.
+  }
+  // Lazy prune of stale flush-order ids.
+  while (!wb_order_.empty() && wb_.count(wb_order_.front()) == 0)
+    wb_order_.pop_front();
+  return Status::Ok();
+}
+
+void SwapManager::wb_flush_entry(mem::EntryId entry) {
+  auto it = wb_.find(entry);
+  if (it == wb_.end() || it->second.in_flight) return;
+  it->second.in_flight = true;
+  ++wb_inflight_;
+  ++metrics_.counter("swap.wb.flushes");
+  auto alive = alive_;
+  client_.put(
+      entry, it->second.buffer, [this, alive, entry](const Status& stored) {
+        if (!*alive) return;
+        --wb_inflight_;
+        auto wb_it = wb_.find(entry);
+        if (wb_it == wb_.end()) return;
+        if (stored.ok()) {
+          if (wb_it->second.remove_after) {
+            // Every member was rewritten while the put was in flight; the
+            // entry is garbage the moment it lands.
+            ++metrics_.counter("swap.wb.late_removes");
+            client_.remove(entry, [](const Status&) {});
+          } else if (auto loc = client_.map().lookup(entry);
+                     loc.ok() && loc->degraded) {
+            ++metrics_.counter("swap.degraded_batches");
+          }
+          wb_.erase(wb_it);
+          return;
+        }
+        // Defer the rollback: the page maps may be mid-walk in a fault.
+        wb_failures_.push_back(
+            {entry, std::move(wb_it->second.buffer), stored});
+        wb_.erase(wb_it);
+      });
+}
+
+Status SwapManager::wb_process_failures() {
+  Status first = Status::Ok();
+  while (!wb_failures_.empty()) {
+    WbFailure failure = std::move(wb_failures_.front());
+    wb_failures_.erase(wb_failures_.begin());
+    ++metrics_.counter("swap.wb.flush_failures");
+    if (first.ok()) first = failure.status;
+    auto batch_it = batches_.find(failure.entry);
+    if (batch_it == batches_.end()) continue;  // fully coalesced meanwhile
+    // The staged copy is the only copy: the put never landed. Every page
+    // still backed by this batch returns to resident+dirty (the resident
+    // budget may transiently overshoot; the next fault drains it).
+    for (std::uint64_t page : batch_it->second.pages) {
+      auto backing_it = backed_.find(page);
+      if (backing_it == backed_.end() ||
+          backing_it->second.batch != failure.entry)
+        continue;
+      const Backing info = backing_it->second;
+      if (resident_.count(page) == 0) {
+        std::vector<std::byte> bytes(kPageBytes);
+        if (info.compressed && !info.raw) {
+          compress::CompressedPage cp;
+          cp.data.assign(failure.buffer.begin() + info.offset,
+                         failure.buffer.begin() + info.offset + info.length);
+          cp.is_raw = false;
+          DM_RETURN_IF_ERROR(compressor_.decompress(cp, bytes));
+        } else {
+          std::memcpy(bytes.data(), failure.buffer.data() + info.offset,
+                      info.length);
+        }
+        resident_.emplace(page, std::move(bytes));
+        lru_.touch(page);
+      }
+      dirty_.insert(page);
+      backed_.erase(backing_it);
+    }
+    batches_.erase(batch_it);
+  }
+  return first;
+}
+
+Status SwapManager::wb_barrier() {
+  if (!wb_enabled()) return Status::Ok();
+  Status first = wb_process_failures();
+  while (!wb_.empty() || !wb_failures_.empty()) {
+    for (mem::EntryId id : std::vector<mem::EntryId>(wb_order_.begin(),
+                                                     wb_order_.end())) {
+      auto it = wb_.find(id);
+      if (it != wb_.end() && !it->second.in_flight) wb_flush_entry(id);
+    }
+    if (wb_inflight_ > 0) {
+      Status drained =
+          client_.drain_until([this]() { return wb_inflight_ == 0; });
+      if (!drained.ok()) return drained;
+    }
+    Status failed = wb_process_failures();
+    if (first.ok()) first = failed;
+    // A failed flush rolled its pages back to resident+dirty — they will
+    // be re-staged by future evictions, not retried here; the barrier
+    // reports the failure and leaves the pages safe.
+    if (wb_inflight_ == 0 &&
+        std::none_of(wb_.begin(), wb_.end(), [](const auto& kv) {
+          return !kv.second.in_flight;
+        }) &&
+        !wb_.empty())
+      break;  // only in-flight entries remain and nothing is draining them
+    if (!failed.ok() || !first.ok()) {
+      if (wb_.empty()) break;
+    }
+  }
+  wb_order_.clear();
+  for (const auto& [id, batch] : wb_) wb_order_.push_back(id);
+  return first;
 }
 
 Status SwapManager::materialize(std::uint64_t page,
@@ -297,13 +541,51 @@ Status SwapManager::fault_in_zswap(std::uint64_t page) {
   return Status::Ok();
 }
 
+Status SwapManager::fault_in_wb(std::uint64_t page,
+                                const std::vector<std::byte>& staged) {
+  // Copy first: a flush completion may erase the staged buffer while the
+  // decompress/make_room charges below drive the simulator.
+  const std::vector<std::byte> buffer = staged;
+  const Backing info = backed_.at(page);
+  auto batch_it = batches_.find(info.batch);
+  if (batch_it == batches_.end())
+    return InternalError("staged page references unknown batch");
+
+  std::vector<std::uint64_t> restore;
+  if (config_.proactive_batch_swap_in && !pbs_fanout_suppressed()) {
+    for (std::uint64_t member : batch_it->second.pages)
+      if (resident_.count(member) == 0) restore.push_back(member);
+    ++metrics_.counter("swap.pbs_batch_ins");
+  } else {
+    restore.push_back(page);
+    ++metrics_.counter("swap.single_page_ins");
+  }
+  DM_RETURN_IF_ERROR(make_room(restore.size()));
+  for (std::uint64_t member : restore) {
+    const Backing member_info = backed_.at(member);
+    DM_RETURN_IF_ERROR(materialize(
+        member,
+        std::span<const std::byte>(buffer).subspan(member_info.offset,
+                                                   member_info.length),
+        member_info));
+  }
+  ++metrics_.counter("swap.wb.hits");
+  return Status::Ok();
+}
+
 Status SwapManager::fault_in(std::uint64_t page) {
   const Backing info = backed_.at(page);
   auto batch_it = batches_.find(info.batch);
   if (batch_it == batches_.end())
     return InternalError("backed page references unknown batch");
 
-  if (config_.proactive_batch_swap_in) {
+  // Still in the write-back staging buffer: serve straight from DRAM.
+  if (wb_enabled()) {
+    if (auto wb_it = wb_.find(info.batch); wb_it != wb_.end())
+      return fault_in_wb(page, wb_it->second.buffer);
+  }
+
+  if (config_.proactive_batch_swap_in && !pbs_fanout_suppressed()) {
     // PBS: fetch the whole batch entry with one disaggregated-memory read
     // and repopulate every non-resident page stored in it. The swap-cache
     // copies stay valid (pages come back clean).
@@ -331,11 +613,12 @@ Status SwapManager::fault_in(std::uint64_t page) {
     return Status::Ok();
   }
 
-  // Non-PBS: the batch is still the unit of storage (one §IV.H message
-  // holds the window), so the fault fetches the batch entry but restores
-  // only the faulted page — its siblings stay down-tier and each pays the
-  // same fetch again on its own fault. This is exactly the waste PBS
-  // removes. Batches of one page degenerate to a cheap sub-read.
+  // Non-PBS (or adaptive fan-out suppressed under random access): the
+  // batch is still the unit of storage (one §IV.H message holds the
+  // window), so the fault fetches the batch entry but restores only the
+  // faulted page — its siblings stay down-tier and each pays the same
+  // fetch again on its own fault. This is exactly the waste PBS removes.
+  // Batches of one page degenerate to a cheap sub-read.
   if (config_.extra_op_overhead > 0) charge(config_.extra_op_overhead);
   if (batch_it->second.pages.size() > 1) {
     auto size = client_.stored_size(info.batch);
@@ -359,9 +642,13 @@ Status SwapManager::fault_in(std::uint64_t page) {
 }
 
 Status SwapManager::flush_all() {
+  if (wb_enabled()) (void)wb_process_failures();
   while (!resident_.empty()) {
     DM_RETURN_IF_ERROR(evict_for_space());
   }
+  // Crash-consistency barrier: Fig 9's cold restart (and any recovery
+  // scenario) must find every page durable down-tier, not staged in DRAM.
+  if (wb_enabled()) DM_RETURN_IF_ERROR(wb_barrier());
   return Status::Ok();
 }
 

@@ -27,13 +27,39 @@
 // batch swap-in would penalize steady-state random access by rewriting
 // unmodified pages on every eviction.
 //
+// Adaptive swap-path engine (all knobs default-off, so the baselines above
+// stay byte-identical):
+//
+//  * adaptive_pbs — a PatternTracker classifies the fault-address stream
+//    (sequential / strided / random) and an AdaptiveWindow resizes the
+//    swap-out window with hysteresis: sequential streams grow it toward
+//    max_batch_pages, random streams shrink it toward min_batch_pages. On
+//    the swap-in side a random verdict suppresses the PBS fan-out to the
+//    single faulted page (fetching a batch of unrelated victims would only
+//    pollute the resident set).
+//  * compression_admission — an entropy probe over the first
+//    admission_probe_bytes of each victim page skips the LZ pass outright
+//    for incompressible pages (they would be stored raw anyway; the probe
+//    saves the compress_ns CPU burn).
+//  * writeback_batches — a bounded write-back staging buffer in front of
+//    the LDMC: swap-out batches are staged in DRAM, flushed asynchronously
+//    in sim-time (or synchronously when the bound is exceeded), and a
+//    fault on a staged page is served straight from the buffer. A page
+//    rewritten while its batch is still staged is coalesced — if a whole
+//    batch is invalidated before its flush, the remote put is skipped
+//    entirely. wb_barrier() (called by flush_all) is the crash-consistency
+//    point: it drains every staged batch, and a failed flush rolls its
+//    pages back to resident+dirty, so no acknowledged page is ever lost.
+//
 // All data is real: page contents come from the workload's content
 // generator, travel compressed through the tiers, and are checksum-checked
 // by the test suite when they return.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +69,7 @@
 #include "common/metrics.h"
 #include "compress/page_compressor.h"
 #include "core/ldmc.h"
+#include "swap/pattern_tracker.h"
 #include "swap/zswap_cache.h"
 
 namespace dm::swap {
@@ -76,9 +103,30 @@ class SwapManager {
     // (0 = disabled). Pages evicted from the pool are written back through
     // the normal store path.
     std::uint64_t zswap_pool_bytes = 0;
+
+    // --- adaptive swap-path engine (default-off; see file comment) ------
+    // Pattern-aware PBS: adaptive swap-out window + swap-in fan-out.
+    bool adaptive_pbs = false;
+    std::size_t min_batch_pages = 1;   // adaptive window floor
+    std::size_t max_batch_pages = 32;  // adaptive window ceiling
+    std::size_t pattern_history = 32;  // fault deltas considered
+    std::size_t pattern_hysteresis = 4;  // verdicts needed to resize
+    // Compression admission control: entropy probe before the LZ pass.
+    bool compression_admission = false;
+    std::size_t admission_probe_bytes = 512;
+    double admission_max_entropy = 6.8;  // bits/byte; above => store raw
+    SimTime admission_probe_ns = 100;    // CPU cost of the probe
+    // Write-back staging: max batches held in the buffer (0 = disabled,
+    // i.e. write-through as before).
+    std::size_t writeback_batches = 0;
+    SimTime writeback_flush_delay = 30 * kMicro;  // async flush deadline
   };
 
   SwapManager(core::Ldmc& client, Config config, PageContentFn content);
+  ~SwapManager();
+
+  SwapManager(const SwapManager&) = delete;
+  SwapManager& operator=(const SwapManager&) = delete;
 
   // Touches one page of the working set; swaps in/out as needed. This is
   // synchronous: it drives the simulator until the fault completes, so the
@@ -86,8 +134,15 @@ class SwapManager {
   Status touch(std::uint64_t page, bool write = false);
 
   // Evicts every resident page (cold-start scenarios, e.g. Fig 9's
-  // post-flush recovery measurement).
+  // post-flush recovery measurement). Ends with a write-back barrier when
+  // the staging buffer is enabled.
   Status flush_all();
+
+  // Crash-consistency barrier: flushes every staged write-back batch and
+  // waits for the puts to settle. Returns the first flush failure (whose
+  // pages have been rolled back to resident+dirty) or Ok. A no-op when
+  // write-back staging is disabled.
+  Status wb_barrier();
 
   bool is_resident(std::uint64_t page) const {
     return resident_.count(page) > 0;
@@ -103,6 +158,21 @@ class SwapManager {
   std::uint64_t swap_outs() const noexcept { return swap_outs_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  // --- adaptive-engine observability (model checker + tests) -----------
+  bool is_backed(std::uint64_t page) const {
+    return backed_.count(page) > 0;
+  }
+  std::size_t backed_count() const noexcept { return backed_.size(); }
+  bool is_dirty(std::uint64_t page) const { return dirty_.count(page) > 0; }
+  // Current swap-out window: the adaptive window when adaptive_pbs is on,
+  // the static batch_pages otherwise.
+  std::size_t current_window() const noexcept;
+  // Last pattern verdict (kUnknown when adaptive_pbs is off).
+  AccessPattern current_pattern() const noexcept;
+  std::size_t wb_staged_batches() const noexcept { return wb_.size(); }
+  std::uint64_t wb_in_flight() const noexcept { return wb_inflight_; }
+
+  const Config& config() const noexcept { return config_; }
   core::Ldmc& client() noexcept { return client_; }
 
  private:
@@ -116,9 +186,23 @@ class SwapManager {
   struct BatchInfo {
     std::vector<std::uint64_t> pages;  // pages still stored in this entry
   };
+  struct WbBatch {
+    std::vector<std::byte> buffer;  // the assembled batch bytes
+    bool in_flight = false;         // put issued, completion pending
+    bool remove_after = false;      // fully invalidated while in flight
+  };
+  struct WbFailure {
+    mem::EntryId entry = 0;
+    std::vector<std::byte> buffer;
+    Status status;
+  };
 
   Status fault_in(std::uint64_t page);
   Status fault_in_zswap(std::uint64_t page);
+  // Serves a fault for a page whose batch is still in the write-back
+  // staging buffer — no backend I/O at all.
+  Status fault_in_wb(std::uint64_t page,
+                     const std::vector<std::byte>& staged);
   Status make_room(std::uint64_t incoming_pages);
   Status evict_for_space();
   Status write_out_batch(const std::vector<std::uint64_t>& pages);
@@ -130,11 +214,29 @@ class SwapManager {
                      const Backing& info);
   void charge(SimTime cost);
 
+  // Adaptive-PBS helpers.
+  void observe_fault(std::uint64_t page);
+  bool pbs_fanout_suppressed();
+
+  // Write-back staging helpers. Flush completions mutate ONLY wb_ /
+  // wb_failures_ / counters; the page maps (resident_, backed_, batches_,
+  // lru_, dirty_) are rolled back exclusively at safe points — the top of
+  // touch()/flush_all() and inside wb_barrier() — because completions can
+  // fire mid-fault while those maps are being walked.
+  bool wb_enabled() const noexcept { return config_.writeback_batches > 0; }
+  Status wb_stage(mem::EntryId entry, std::vector<std::byte> buffer,
+                  SimTime batch_started, std::size_t batch_pages);
+  void wb_flush_entry(mem::EntryId entry);
+  // Rolls back every deferred flush failure; returns the first failure.
+  Status wb_process_failures();
+
   core::Ldmc& client_;
   Config config_;
   PageContentFn content_;
   compress::PageCompressor compressor_;
   std::optional<ZswapCache> zswap_;
+  std::optional<PatternTracker> pattern_;
+  std::optional<AdaptiveWindow> window_;
 
   std::unordered_map<std::uint64_t, std::vector<std::byte>> resident_;
   std::unordered_set<std::uint64_t> dirty_;
@@ -144,6 +246,17 @@ class SwapManager {
   std::unordered_map<mem::EntryId, BatchInfo> batches_;
   mem::EntryId next_batch_ = 1;
   std::uint64_t backup_cursor_ = 0;
+
+  // Write-back staging buffer. wb_order_ is the FIFO flush order (it may
+  // hold ids of batches that were since flushed or coalesced; stale ids
+  // are skipped).
+  std::unordered_map<mem::EntryId, WbBatch> wb_;
+  std::deque<mem::EntryId> wb_order_;
+  std::uint64_t wb_inflight_ = 0;
+  std::vector<WbFailure> wb_failures_;
+  // Guards the async flush callbacks against a destroyed manager (events
+  // may still be queued on the simulator).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::uint64_t faults_ = 0;
   std::uint64_t swap_ins_ = 0;

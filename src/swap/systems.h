@@ -25,6 +25,10 @@ enum class SystemKind {
   kNbdx,           // raw RDMA block device, per-page
   kLinux,          // disk swap only
   kZswap,          // compressed RAM cache (zbud) in front of disk swap
+  // FastSwap plus the adaptive swap-path engine: pattern-aware PBS window
+  // and fan-out, entropy-probe compression admission, and write-back
+  // staging in front of the LDMC.
+  kFastSwapAdaptive,
 };
 
 std::string_view to_string(SystemKind kind) noexcept;

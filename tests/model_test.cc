@@ -1,16 +1,31 @@
 // Model-based randomized tests: drive a component with a random operation
 // stream and check every observable against a simple reference model.
+//
+// The second half of this file is the swap-path model checker: it replays
+// seeded fault/evict/flush traces through a full SwapManager (real
+// simulator, real tiers, real compression) and, in lockstep, through
+// SwapOracle — a pure-function reference that mirrors the paging layer's
+// membership semantics (resident set, dirty set, swap-cache backing, batch
+// composition, LRU order, the adaptive-PBS policy state machines, and the
+// admission-control decision). Seventeen numbered properties (P1–P17) are
+// asserted along the trace; see SwapModelChecker::check_*.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
+#include "common/checksum.h"
 #include "common/rng.h"
+#include "core/dm_system.h"
 #include "mem/buffer_pool.h"
 #include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
 #include "net/fabric.h"
+#include "swap/swap_manager.h"
+#include "swap/systems.h"
+#include "workloads/page_content.h"
 
 namespace dm::mem {
 namespace {
@@ -193,3 +208,464 @@ TEST(BufferPoolModelTest, NoOverlapAndConsistentRegistration) {
 
 }  // namespace
 }  // namespace dm::mem
+
+namespace dm::swap {
+namespace {
+
+// Per-page content: every fourth page is incompressible (random bytes),
+// the rest compress well — so one trace exercises both admission-control
+// branches. Pure function of the page id, like all swap content.
+constexpr double kCompressibleFraction = 0.15;
+double page_random_fraction(std::uint64_t page) {
+  return page % 4 == 0 ? 1.0 : kCompressibleFraction;
+}
+
+void model_content(std::uint64_t page, std::span<std::byte> out) {
+  workloads::fill_page(out, page, page_random_fraction(page), 17);
+}
+
+std::uint64_t model_checksum(std::uint64_t page) {
+  std::vector<std::byte> bytes(kPageBytes);
+  model_content(page, bytes);
+  return fnv1a(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// SwapOracle: pure-function reference model of SwapManager's membership
+// semantics. No simulator, no I/O, no bytes — it tracks WHICH pages are
+// where (resident / dirty / backed / batch members / LRU order) and what
+// the policy state machines decide, which is exactly what the checker
+// compares against the real implementation.
+//
+// Deliberately out of scope (checked by other means or other tests): fault
+// latencies, the zswap tier (model configs run with zswap off), and the
+// write-back buffer's asynchronous flush timing — a successful flush does
+// not change page membership, so the oracle is exact even with staging on.
+// ---------------------------------------------------------------------------
+class SwapOracle {
+ public:
+  struct Counters {
+    std::uint64_t faults = 0;
+    std::uint64_t swap_ins = 0;
+    std::uint64_t swap_outs = 0;
+    std::uint64_t cold_faults = 0;
+    std::uint64_t clean_drops = 0;
+    std::uint64_t pbs_batch_ins = 0;
+    std::uint64_t single_page_ins = 0;
+    std::uint64_t fanout_skips = 0;
+    std::uint64_t admit_accept = 0;
+    std::uint64_t admit_skip = 0;
+    std::uint64_t swapped_out_pages = 0;
+  };
+
+  // `config` must be the manager's post-construction config (the ctor
+  // clamps max_batch_pages), i.e. manager.config().
+  explicit SwapOracle(const SwapManager::Config& config) : config_(config) {
+    if (config_.adaptive_pbs) {
+      pattern_.emplace(config_.pattern_history,
+                       static_cast<std::int64_t>(config_.max_batch_pages));
+      window_.emplace(AdaptiveWindow::Config{
+          config_.min_batch_pages, config_.max_batch_pages,
+          std::clamp(config_.batch_pages, config_.min_batch_pages,
+                     config_.max_batch_pages),
+          config_.pattern_hysteresis});
+    }
+  }
+
+  void touch(std::uint64_t page, bool write) {
+    if (resident_.count(page) > 0) {
+      lru_.touch(page);
+      if (write) {
+        dirty_.insert(page);
+        invalidate(page);
+      }
+      return;
+    }
+    ++c_.faults;
+    if (config_.adaptive_pbs) {
+      pattern_->record(page);
+      window_->update(pattern_->classify());
+    }
+    if (backed_.count(page) > 0) {
+      fault_backed(page);
+    } else {
+      make_room(1);
+      resident_.insert(page);
+      lru_.touch(page);
+      ++c_.cold_faults;
+    }
+    if (write) {
+      dirty_.insert(page);
+      invalidate(page);
+    }
+  }
+
+  void flush_all() {
+    while (!resident_.empty()) evict_for_space();
+  }
+
+  std::size_t window() const {
+    return window_ ? window_->current() : config_.batch_pages;
+  }
+  AccessPattern pattern() const {
+    return pattern_ ? pattern_->classify() : AccessPattern::kUnknown;
+  }
+
+  const Counters& counters() const { return c_; }
+  const std::set<std::uint64_t>& resident() const { return resident_; }
+  const std::set<std::uint64_t>& dirty() const { return dirty_; }
+  const std::map<std::uint64_t, mem::EntryId>& backed() const {
+    return backed_;
+  }
+
+ private:
+  void invalidate(std::uint64_t page) {
+    auto it = backed_.find(page);
+    if (it == backed_.end()) return;
+    const mem::EntryId entry = it->second;
+    backed_.erase(it);
+    auto& members = batches_.at(entry);
+    members.erase(std::find(members.begin(), members.end(), page));
+    if (members.empty()) batches_.erase(entry);
+  }
+
+  void fault_backed(std::uint64_t page) {
+    const mem::EntryId entry = backed_.at(page);
+    bool pbs = config_.proactive_batch_swap_in;
+    if (pbs && config_.adaptive_pbs &&
+        pattern_->classify() == AccessPattern::kRandom) {
+      pbs = false;
+      ++c_.fanout_skips;
+    }
+    std::vector<std::uint64_t> restore;
+    if (pbs) {
+      for (std::uint64_t member : batches_.at(entry))
+        if (resident_.count(member) == 0) restore.push_back(member);
+      ++c_.pbs_batch_ins;
+    } else {
+      restore.push_back(page);
+      ++c_.single_page_ins;
+    }
+    make_room(restore.size());
+    for (std::uint64_t member : restore) {
+      resident_.insert(member);
+      lru_.touch(member);
+      ++c_.swap_ins;
+    }
+  }
+
+  void make_room(std::size_t incoming) {
+    while (resident_.size() + incoming > config_.resident_pages)
+      evict_for_space();
+  }
+
+  void evict_for_space() {
+    const std::size_t window_pages =
+        config_.adaptive_pbs ? window_->current() : config_.batch_pages;
+    std::vector<std::uint64_t> to_write;
+    while (to_write.size() < window_pages && !lru_.empty()) {
+      const std::uint64_t victim = *lru_.evict_lru();
+      const bool clean =
+          dirty_.count(victim) == 0 && backed_.count(victim) > 0;
+      if (clean) {
+        resident_.erase(victim);
+        ++c_.clean_drops;
+        if (to_write.empty()) break;
+        continue;
+      }
+      to_write.push_back(victim);
+    }
+    if (to_write.empty()) return;
+    for (std::uint64_t page : to_write) {
+      resident_.erase(page);
+      dirty_.erase(page);
+    }
+    store_batch(to_write);
+  }
+
+  void store_batch(const std::vector<std::uint64_t>& pages) {
+    const mem::EntryId entry = next_batch_++;
+    for (std::uint64_t page : pages) {
+      if (config_.compression != CompressionMode::kOff &&
+          config_.compression_admission) {
+        std::vector<std::byte> bytes(kPageBytes);
+        model_content(page, bytes);
+        const double entropy =
+            compress::sample_entropy(bytes, config_.admission_probe_bytes);
+        ++(entropy <= config_.admission_max_entropy ? c_.admit_accept
+                                                    : c_.admit_skip);
+      }
+      backed_.emplace(page, entry);
+      batches_[entry].push_back(page);
+    }
+    ++c_.swap_outs;
+    c_.swapped_out_pages += pages.size();
+  }
+
+  SwapManager::Config config_;
+  std::optional<PatternTracker> pattern_;
+  std::optional<AdaptiveWindow> window_;
+  std::set<std::uint64_t> resident_;
+  std::set<std::uint64_t> dirty_;
+  LruTracker<std::uint64_t> lru_;
+  std::map<std::uint64_t, mem::EntryId> backed_;
+  std::map<mem::EntryId, std::vector<std::uint64_t>> batches_;
+  mem::EntryId next_batch_ = 1;
+  Counters c_;
+};
+
+// ---------------------------------------------------------------------------
+// The checker: builds a real system + SwapManager and an oracle from the
+// same config, replays a seeded trace of mixed sequential / strided /
+// random phases with writes and occasional flush/barrier events, and
+// asserts the properties after every step.
+// ---------------------------------------------------------------------------
+class SwapModelChecker {
+ public:
+  SwapModelChecker(SystemSetup setup, std::uint64_t seed,
+                   std::uint64_t page_space = 128)
+      : page_space_(page_space), rng_(seed) {
+    core::DmSystem::Config config;
+    config.node_count = 4;
+    config.node.shm.arena_bytes = 16 * MiB;
+    config.node.recv.arena_bytes = 16 * MiB;
+    config.node.disk.capacity_bytes = 128 * MiB;
+    config.service = setup.service;
+    system_ = std::make_unique<core::DmSystem>(config);
+    system_->start();
+    auto& client = system_->create_server(0, 64 * MiB, setup.ldmc);
+    manager_ = std::make_unique<SwapManager>(client, setup.swap,
+                                             model_content);
+    oracle_ = std::make_unique<SwapOracle>(manager_->config());
+  }
+
+  void run(int steps) {
+    int remaining = 0;
+    int mode = 0;
+    std::uint64_t cursor = 0;
+    std::uint64_t stride = 1;
+    for (int step = 0; step < steps; ++step) {
+      if (remaining == 0) {
+        mode = static_cast<int>(rng_.next_below(3));
+        remaining = 16 + static_cast<int>(rng_.next_below(48));
+        cursor = rng_.next_below(page_space_);
+        stride = 2 + rng_.next_below(6);
+      }
+      --remaining;
+      std::uint64_t page = 0;
+      switch (mode) {
+        case 0: page = cursor++ % page_space_; break;            // sequential
+        case 1: page = (cursor += stride) % page_space_; break;  // strided
+        default: page = rng_.next_below(page_space_); break;     // random
+      }
+      const bool write = rng_.bernoulli(0.3);
+      touched_.insert(page);
+
+      // P1: every touch on a healthy system succeeds.
+      ASSERT_TRUE(manager_->touch(page, write).ok())
+          << "step " << step << " page " << page;
+      oracle_->touch(page, write);
+
+      check_step(step, page);
+      if (step % 64 == 63) check_full(step);
+
+      if (rng_.bernoulli(0.005)) {
+        // P16: the barrier drains the write-back buffer completely.
+        ASSERT_TRUE(manager_->wb_barrier().ok());
+        ASSERT_EQ(manager_->wb_staged_batches(), 0u);
+        ASSERT_EQ(manager_->wb_in_flight(), 0u);
+      } else if (rng_.bernoulli(0.003)) {
+        // P17: flush_all empties the resident set; every touched page must
+        // come back intact afterwards (checked by the next faults + the
+        // final sweep below).
+        ASSERT_TRUE(manager_->flush_all().ok());
+        oracle_->flush_all();
+        ASSERT_EQ(manager_->resident_count(), 0u);
+        ASSERT_EQ(oracle_->resident().size(), 0u);
+        ASSERT_EQ(manager_->wb_staged_batches(), 0u);
+      }
+    }
+    check_full(steps);
+
+    // Final integrity sweep (P17's second half): every page ever touched
+    // is still recoverable with generator-exact contents.
+    for (std::uint64_t page : touched_) {
+      ASSERT_TRUE(manager_->touch(page).ok());
+      auto bytes = manager_->resident_bytes(page);
+      ASSERT_TRUE(bytes.ok());
+      ASSERT_EQ(fnv1a(*bytes), model_checksum(page)) << "page " << page;
+    }
+  }
+
+  SwapManager& manager() { return *manager_; }
+  core::DmSystem& system() { return *system_; }
+
+ private:
+  void check_step(int step, std::uint64_t page) {
+    const auto& c = oracle_->counters();
+    auto& m = manager_->metrics();
+    // P2: the touched page is resident afterwards.
+    ASSERT_TRUE(manager_->is_resident(page)) << "step " << step;
+    // P3: fault count matches the oracle.
+    ASSERT_EQ(manager_->faults(), c.faults) << "step " << step;
+    // P4 / P5: swap-in and swap-out counts match.
+    ASSERT_EQ(manager_->swap_ins(), c.swap_ins) << "step " << step;
+    ASSERT_EQ(manager_->swap_outs(), c.swap_outs) << "step " << step;
+    // P6: resident-set size matches.
+    ASSERT_EQ(manager_->resident_count(), oracle_->resident().size());
+    // P7: the resident budget is never exceeded.
+    ASSERT_LE(manager_->resident_count(),
+              manager_->config().resident_pages);
+    // P12: service-path counters match.
+    ASSERT_EQ(m.counter_value("swap.cold_faults"), c.cold_faults);
+    ASSERT_EQ(m.counter_value("swap.clean_drops"), c.clean_drops);
+    ASSERT_EQ(m.counter_value("swap.swapped_out_pages"),
+              c.swapped_out_pages);
+    // P13: the PBS/single-page fan-out decisions match.
+    ASSERT_EQ(m.counter_value("swap.pbs_batch_ins"), c.pbs_batch_ins);
+    ASSERT_EQ(m.counter_value("swap.single_page_ins"), c.single_page_ins);
+    ASSERT_EQ(m.counter_value("swap.pbs.fanout_skips"), c.fanout_skips);
+    // P14: every admission-control decision matches the oracle's entropy
+    // recomputation.
+    ASSERT_EQ(m.counter_value("swap.admit.accept"), c.admit_accept);
+    ASSERT_EQ(m.counter_value("swap.admit.skip"), c.admit_skip);
+    // P15: the adaptive window agrees and stays within its bounds.
+    ASSERT_EQ(manager_->current_window(), oracle_->window());
+    if (manager_->config().adaptive_pbs) {
+      ASSERT_GE(manager_->current_window(),
+                manager_->config().min_batch_pages);
+      ASSERT_LE(manager_->current_window(),
+                manager_->config().max_batch_pages);
+      ASSERT_EQ(manager_->current_pattern(), oracle_->pattern());
+    }
+    // P16 (bound half): the staging buffer respects its configured bound.
+    ASSERT_LE(manager_->wb_staged_batches(),
+              std::max<std::size_t>(manager_->config().writeback_batches,
+                                    1));
+  }
+
+  void check_full(int step) {
+    // P6 (membership half) / P8 / P9 / P10, swept over the whole page
+    // space every 64 steps.
+    for (std::uint64_t page = 0; page < page_space_; ++page) {
+      ASSERT_EQ(manager_->is_resident(page),
+                oracle_->resident().count(page) > 0)
+          << "step " << step << " page " << page;
+      // P8: swap-cache backing matches.
+      ASSERT_EQ(manager_->is_backed(page),
+                oracle_->backed().count(page) > 0)
+          << "step " << step << " page " << page;
+      // P9: dirty state matches.
+      ASSERT_EQ(manager_->is_dirty(page), oracle_->dirty().count(page) > 0)
+          << "step " << step << " page " << page;
+    }
+    ASSERT_EQ(manager_->backed_count(), oracle_->backed().size());
+    // P10: conservation — no touched page is ever lost; each is resident,
+    // backed down-tier, or both.
+    for (std::uint64_t page : touched_) {
+      ASSERT_TRUE(manager_->is_resident(page) || manager_->is_backed(page))
+          << "page " << page << " lost at step " << step;
+    }
+    // P11: every resident page holds generator-exact bytes.
+    for (std::uint64_t page : touched_) {
+      if (!manager_->is_resident(page)) continue;
+      auto bytes = manager_->resident_bytes(page);
+      ASSERT_TRUE(bytes.ok());
+      ASSERT_EQ(fnv1a(*bytes), model_checksum(page)) << "page " << page;
+    }
+  }
+
+  std::uint64_t page_space_;
+  Rng rng_;
+  std::unique_ptr<core::DmSystem> system_;
+  std::unique_ptr<SwapManager> manager_;
+  std::unique_ptr<SwapOracle> oracle_;
+  std::set<std::uint64_t> touched_;
+};
+
+SystemSetup small_setup(SystemKind kind, std::uint64_t resident = 32) {
+  auto setup = make_system(kind, resident);
+  return setup;
+}
+
+TEST(SwapModelTest, FastSwapFixedWindowMatchesOracle) {
+  SwapModelChecker checker(small_setup(SystemKind::kFastSwap), 1001);
+  checker.run(1500);
+}
+
+TEST(SwapModelTest, NoPbsMatchesOracle) {
+  SwapModelChecker checker(small_setup(SystemKind::kFastSwapNoPbs), 1002);
+  checker.run(1500);
+}
+
+TEST(SwapModelTest, PerPageBatchingMatchesOracle) {
+  auto setup = small_setup(SystemKind::kFastSwap);
+  setup.swap.batch_pages = 1;
+  SwapModelChecker checker(setup, 1003);
+  checker.run(1000);
+}
+
+TEST(SwapModelTest, AdaptivePbsMatchesOracle) {
+  auto setup = small_setup(SystemKind::kFastSwap);
+  setup.swap.adaptive_pbs = true;
+  SwapModelChecker checker(setup, 1004);
+  checker.run(1500);
+}
+
+TEST(SwapModelTest, CompressionAdmissionMatchesOracle) {
+  auto setup = small_setup(SystemKind::kFastSwap);
+  setup.swap.compression_admission = true;
+  SwapModelChecker checker(setup, 1005);
+  checker.run(1500);
+}
+
+TEST(SwapModelTest, WriteBackStagingMatchesOracle) {
+  auto setup = small_setup(SystemKind::kFastSwap);
+  setup.swap.writeback_batches = 4;
+  SwapModelChecker checker(setup, 1006);
+  checker.run(1500);
+}
+
+TEST(SwapModelTest, FullAdaptiveEngineMatchesOracle) {
+  SwapModelChecker checker(small_setup(SystemKind::kFastSwapAdaptive), 1007);
+  checker.run(2000);
+}
+
+TEST(SwapModelTest, FullAdaptiveEngineMatchesOracleAcrossSeeds) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    SwapModelChecker checker(small_setup(SystemKind::kFastSwapAdaptive),
+                             seed);
+    checker.run(800);
+  }
+}
+
+TEST(SwapModelTest, UncompressedBaselineWithWriteBackMatchesOracle) {
+  auto setup = small_setup(SystemKind::kInfiniswap);
+  setup.swap.disk_backup = false;  // keep the oracle's scope exact
+  setup.swap.writeback_batches = 2;
+  setup.swap.adaptive_pbs = true;
+  SwapModelChecker checker(setup, 1008);
+  checker.run(1200);
+}
+
+// P-determinism: the same seeded trace replayed twice produces the exact
+// same counters and a byte-identical metrics dump — the property the
+// chaos/recovery suites rely on for reproducing schedules.
+TEST(SwapModelTest, SameSeedReplaysAreByteIdentical) {
+  auto run_once = [](std::uint64_t seed) {
+    SwapModelChecker checker(small_setup(SystemKind::kFastSwapAdaptive),
+                             seed);
+    checker.run(700);
+    const std::string dump = checker.manager().metrics().to_string();
+    return std::tuple(checker.manager().faults(),
+                      checker.manager().swap_ins(),
+                      checker.manager().swap_outs(),
+                      checker.system().simulator().now(),
+                      fnv1a(std::as_bytes(
+                          std::span(dump.data(), dump.size()))));
+  };
+  EXPECT_EQ(run_once(4242), run_once(4242));
+}
+
+}  // namespace
+}  // namespace dm::swap

@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/checksum.h"
 #include "core/dm_system.h"
 #include "core/repair_service.h"
+#include "swap/swap_manager.h"
 #include "workloads/page_content.h"
 
 namespace dm::core {
@@ -239,6 +241,128 @@ TEST(RecoveryTest, DegradedPutToppedUpByRepairScan) {
   std::vector<std::byte> out(4096);
   ASSERT_TRUE(client.get_sync(11, out).ok());
   EXPECT_EQ(out, page_data(11));
+}
+
+// --- crash during a write-back flush (adaptive swap-path engine) ------------
+
+swap::SwapManager::Config wb_swap_config() {
+  swap::SwapManager::Config config;
+  config.resident_pages = 16;
+  config.batch_pages = 8;
+  config.compression = swap::CompressionMode::kFourGranularity;
+  config.writeback_batches = 4;
+  // Long deadline: batches sit staged until the barrier, so the crash is
+  // guaranteed to land while acknowledged pages are only in DRAM staging.
+  config.writeback_flush_delay = 50 * kMilli;
+  return config;
+}
+
+void swap_content(std::uint64_t page, std::span<std::byte> out) {
+  workloads::fill_page(out, page, 0.4, 23);
+}
+
+std::uint64_t swap_checksum(std::uint64_t page) {
+  std::vector<std::byte> bytes(4096);
+  swap_content(page, bytes);
+  return fnv1a(bytes);
+}
+
+// Every remote candidate dies while swap-out batches are staged in the
+// write-back buffer. The barrier's flushes must retry, give up, and land in
+// the degraded disk fallback: the barrier succeeds, no acknowledged page is
+// lost, and every page is durable (if degraded) down-tier.
+TEST(RecoveryTest, CrashDuringWriteBackFlushFallsBackToDisk) {
+  auto config = cluster_config(3, 2, /*min_replicas=*/1);
+  config.rpc_retry.max_attempts = 3;
+  config.rpc_retry.base_backoff = 500 * kMicro;
+  config.rpc_retry.max_backoff = 2 * kMilli;
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.0;  // all batches remote => the crash hits them
+  auto& client = system.create_server(0, 64 * MiB, options);
+  swap::SwapManager manager(client, wb_swap_config(), swap_content);
+
+  for (std::uint64_t p = 0; p < 48; ++p)
+    ASSERT_TRUE(manager.touch(p, /*write=*/true).ok());
+  ASSERT_GT(manager.wb_staged_batches(), 0u);
+
+  // Both remote peers die; membership has not noticed, so the flush puts
+  // still target them and must fail over to the local disk, degraded.
+  system.crash_node(1);
+  system.crash_node(2);
+  ASSERT_TRUE(manager.wb_barrier().ok());
+  EXPECT_EQ(manager.wb_staged_batches(), 0u);
+  EXPECT_EQ(manager.wb_in_flight(), 0u);
+  EXPECT_GE(manager.metrics().counter_value("swap.degraded_batches"), 1u);
+  EXPECT_GE(system.service(0).metrics().counter_value(
+                "ldms.degraded_to_disk"),
+            1u);
+
+  // No acknowledged page lost: every page is recoverable with exact bytes.
+  for (std::uint64_t p = 0; p < 48; ++p) {
+    ASSERT_TRUE(manager.touch(p).ok()) << "page " << p;
+    auto bytes = manager.resident_bytes(p);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(fnv1a(*bytes), swap_checksum(p)) << "page " << p;
+  }
+}
+
+// Same crash, but with the disk fallback disabled: the flush puts fail
+// outright. The write-back machinery must roll every staged page back to
+// resident+dirty — the barrier reports the failure, but nothing is lost,
+// and once capacity returns a plain flush drains everything.
+TEST(RecoveryTest, CrashDuringWriteBackFlushRollsBackWithoutLoss) {
+  auto config = cluster_config(3, 2, /*min_replicas=*/1);
+  config.rpc_retry.max_attempts = 3;
+  config.rpc_retry.base_backoff = 500 * kMicro;
+  config.rpc_retry.max_backoff = 2 * kMilli;
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.0;
+  options.allow_disk = false;  // no fallback tier at all
+  auto& client = system.create_server(0, 64 * MiB, options);
+  swap::SwapManager manager(client, wb_swap_config(), swap_content);
+
+  for (std::uint64_t p = 0; p < 48; ++p)
+    ASSERT_TRUE(manager.touch(p, /*write=*/true).ok());
+  ASSERT_GT(manager.wb_staged_batches(), 0u);
+
+  system.crash_node(1);
+  system.crash_node(2);
+  const Status barrier = manager.wb_barrier();
+  EXPECT_FALSE(barrier.ok());
+  EXPECT_GE(manager.metrics().counter_value("swap.wb.flush_failures"), 1u);
+  EXPECT_EQ(manager.wb_staged_batches(), 0u);
+  EXPECT_EQ(manager.wb_in_flight(), 0u);
+
+  // Conservation: every page survives, either resident (rolled back,
+  // dirty again) or still backed by an entry that flushed before the
+  // crash. Resident copies carry exact bytes.
+  for (std::uint64_t p = 0; p < 48; ++p) {
+    ASSERT_TRUE(manager.is_resident(p) || manager.is_backed(p))
+        << "page " << p << " lost";
+    if (manager.is_resident(p)) {
+      auto bytes = manager.resident_bytes(p);
+      ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(fnv1a(*bytes), swap_checksum(p)) << "page " << p;
+    }
+  }
+
+  // Capacity returns; the rolled-back pages drain through a normal flush
+  // and everything reads back intact.
+  system.recover_node(1);
+  system.recover_node(2);
+  system.run_for(10 * kSecond);
+  ASSERT_TRUE(manager.flush_all().ok());
+  EXPECT_EQ(manager.resident_count(), 0u);
+  for (std::uint64_t p = 0; p < 48; ++p) {
+    ASSERT_TRUE(manager.touch(p).ok()) << "page " << p;
+    auto bytes = manager.resident_bytes(p);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(fnv1a(*bytes), swap_checksum(p)) << "page " << p;
+  }
 }
 
 }  // namespace
