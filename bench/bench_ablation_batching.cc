@@ -4,6 +4,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "swap/systems.h"
+#include "workloads/app_catalog.h"
 
 int main() {
   using namespace dm;

@@ -9,6 +9,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/dm_system.h"
 #include "kvstore/kv_store.h"
 #include "workloads/page_content.h"
 

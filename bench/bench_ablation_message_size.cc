@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/units.h"
+#include "core/dm_system.h"
 #include "rddcache/mini_spark.h"
 
 int main() {

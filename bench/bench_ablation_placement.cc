@@ -5,6 +5,7 @@
 
 #include "bench_util.h"
 #include "cluster/placement.h"
+#include "common/rng.h"
 
 int main() {
   using namespace dm;

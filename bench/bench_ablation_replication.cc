@@ -7,6 +7,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/units.h"
+#include "core/dm_system.h"
+#include "core/node_service.h"
+#include "mem/memory_map.h"
 #include "workloads/page_content.h"
 
 int main() {

@@ -10,6 +10,12 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/dm_system.h"
+#include "swap/swap_manager.h"
+#include "swap/systems.h"
+#include "workloads/app_catalog.h"
 
 int main() {
   using namespace dm;

@@ -8,6 +8,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "swap/systems.h"
+#include "workloads/app_catalog.h"
 
 int main() {
   using namespace dm;

@@ -10,6 +10,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "swap/systems.h"
+#include "workloads/app_catalog.h"
 
 int main() {
   using namespace dm;

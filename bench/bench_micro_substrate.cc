@@ -5,16 +5,18 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "compress/lz.h"
 #include "compress/page_compressor.h"
 #include "mem/buffer_pool.h"
+#include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
 #include "mem/slab_allocator.h"
-#include "mem/memory_map.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "net/wire.h"
+#include "sim/simulator.h"
 #include "workloads/page_content.h"
 
 namespace {

@@ -14,9 +14,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
+#include "sim/simulator.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
+#include "workloads/app_catalog.h"
 #include "workloads/driver.h"
 
 namespace dm::bench {

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, an ASan/UBSan build + tests, then a
-# gcov-instrumented build gating line coverage of the swap + compression
-# layers.
+# CI entry point: a lint stage (dm_lint + -Werror build), plain build +
+# tests, an ASan/UBSan build + tests, then a gcov-instrumented build gating
+# line coverage of the swap + compression layers.
 #
-# Usage: ./ci.sh [--plain-only|--sanitize-only|--coverage-only]
+# Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--coverage-only]
 #
+# The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
+# -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
+# (determinism, layering, status hygiene, include hygiene — see DESIGN.md),
+# and runs the fixture suite proving every rule still fires.
 # The sanitizer pass uses the DM_SANITIZE cache option defined in the root
 # CMakeLists.txt (compiles the whole tree with -fsanitize=address,undefined).
 # The coverage pass uses DM_COVERAGE and fails CI if line coverage of the
@@ -28,6 +32,17 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$jobs"
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_lint() {
+  local build_dir=build-lint
+  # -Werror build proves the tree is warning-free before anything runs.
+  cmake -B "$build_dir" -S . -DDM_WERROR=ON
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==> dm_lint: tree scan"
+  "./$build_dir/tools/dm_lint" --root .
+  echo "==> dm_lint: fixture suite"
+  ctest --test-dir "$build_dir" --output-on-failure -R 'Lint' -j "$jobs"
 }
 
 run_coverage() {
@@ -83,17 +98,22 @@ run_coverage() {
     }' "$covdir/lines.txt"
 }
 
-if [[ "$mode" != "--sanitize-only" && "$mode" != "--coverage-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--lint-only" ]]; then
+  echo "==> lint build (-Werror) + dm_lint"
+  run_lint
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--plain-only" ]]; then
   echo "==> plain build + tests"
   run_suite build
 fi
 
-if [[ "$mode" != "--plain-only" && "$mode" != "--coverage-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "==> sanitized build + tests (ASan + UBSan)"
   run_suite build-asan -DDM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
-if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
+if [[ "$mode" == "all" || "$mode" == "--coverage-only" ]]; then
   echo "==> coverage build + swap/compress gate"
   run_coverage
 fi

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cluster/membership.h"
+#include "common/status.h"
+#include "net/rpc.h"
 #include "net/wire.h"
+#include "sim/simulator.h"
 
 namespace dm::cluster {
 

@@ -29,6 +29,9 @@
 #include "cluster/membership.h"
 #include "cluster/protocol.h"
 #include "common/status.h"
+#include "common/units.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
 
 namespace dm::cluster {
 

@@ -1,6 +1,10 @@
 #include "cluster/membership.h"
 
+#include "common/status.h"
+#include "common/units.h"
+#include "net/rpc.h"
 #include "net/wire.h"
+#include "sim/simulator.h"
 
 namespace dm::cluster {
 

@@ -1,6 +1,13 @@
 #include "cluster/node.h"
 
+#include "cluster/group.h"
 #include "cluster/protocol.h"
+#include "cluster/virtual_server.h"
+#include "common/status.h"
+#include "net/connection_manager.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
 
 namespace dm::cluster {
 

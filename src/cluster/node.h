@@ -20,11 +20,13 @@
 #include "cluster/membership.h"
 #include "cluster/virtual_server.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "mem/buffer_pool.h"
 #include "mem/shared_memory_pool.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
+#include "sim/simulator.h"
 #include "storage/block_device.h"
 
 namespace dm::cluster {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+
 namespace dm::cluster {
 namespace {
 

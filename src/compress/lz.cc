@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "common/status.h"
+
 namespace dm::compress {
 namespace {
 

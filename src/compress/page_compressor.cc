@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/status.h"
+
 namespace dm::compress {
 namespace {
 

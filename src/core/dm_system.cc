@@ -1,5 +1,13 @@
 #include "core/dm_system.h"
 
+#include "cluster/group.h"
+#include "core/ldmc.h"
+#include "core/node_service.h"
+#include "core/repair_service.h"
+#include "net/connection_manager.h"
+#include "net/fabric.h"
+#include "sim/trace.h"
+
 namespace dm::core {
 
 DmSystem::DmSystem(Config config)

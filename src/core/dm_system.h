@@ -27,13 +27,17 @@
 
 #include "cluster/group.h"
 #include "cluster/node.h"
+#include "common/units.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
 #include "core/repair_service.h"
 #include "net/connection_manager.h"
+#include "net/fabric.h"
 #include "net/retry_policy.h"
 #include "obs/metrics_hub.h"
 #include "sim/failure_injector.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace dm::core {
 

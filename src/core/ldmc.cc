@@ -1,5 +1,10 @@
 #include "core/ldmc.h"
 
+#include "common/checksum.h"
+#include "common/status.h"
+#include "core/node_service.h"
+#include "mem/memory_map.h"
+
 namespace dm::core {
 
 Ldmc::Ldmc(NodeService& service, cluster::ServerId server, Config config)

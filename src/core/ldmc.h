@@ -18,6 +18,7 @@
 #include <span>
 
 #include "common/checksum.h"
+#include "common/status.h"
 #include "core/node_service.h"
 #include "mem/memory_map.h"
 
@@ -54,19 +55,19 @@ class Ldmc {
               net::TraceId trace = net::kNoTrace);
 
   // --- synchronous wrappers (drive the simulator until completion) ------------
-  Status put_sync(mem::EntryId entry, std::span<const std::byte> data);
-  Status get_sync(mem::EntryId entry, std::span<std::byte> out);
-  Status get_range_sync(mem::EntryId entry, std::uint64_t offset,
+  [[nodiscard]] Status put_sync(mem::EntryId entry, std::span<const std::byte> data);
+  [[nodiscard]] Status get_sync(mem::EntryId entry, std::span<std::byte> out);
+  [[nodiscard]] Status get_range_sync(mem::EntryId entry, std::uint64_t offset,
                         std::span<std::byte> out);
-  Status remove_sync(mem::EntryId entry);
+  [[nodiscard]] Status remove_sync(mem::EntryId entry);
 
   // Drives the simulator until `done()` holds. Unlike run_until_flag this
   // takes an arbitrary predicate, so callers with several operations in
   // flight (the swap layer's write-back staging buffer) can wait for a
   // compound condition. Errors if the event queue runs dry first.
-  Status drain_until(const std::function<bool()>& done);
+  [[nodiscard]] Status drain_until(const std::function<bool()>& done);
 
-  StatusOr<std::size_t> stored_size(mem::EntryId entry) const;
+  [[nodiscard]] StatusOr<std::size_t> stored_size(mem::EntryId entry) const;
   bool contains(mem::EntryId entry) const { return map_.contains(entry); }
 
   // Tier occupancy counters (bench/tests).

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "common/status.h"
+#include "common/units.h"
 #include "core/ldmc.h"
+#include "mem/memory_map.h"
 #include "net/wire.h"
+#include "storage/block_device.h"
 
 namespace dm::core {
 
@@ -51,11 +55,7 @@ Ldmc* NodeService::client(cluster::ServerId server) {
 
 void NodeService::for_each_client(
     const std::function<void(cluster::ServerId, Ldmc&)>& fn) {
-  std::vector<cluster::ServerId> ids;
-  ids.reserve(clients_.size());
-  for (const auto& [server, client_ptr] : clients_) ids.push_back(server);
-  std::sort(ids.begin(), ids.end());
-  for (cluster::ServerId server : ids) fn(server, *clients_[server]);
+  for (const auto& [server, client_ptr] : clients_) fn(server, *client_ptr);
 }
 
 // ---- put path ---------------------------------------------------------------
@@ -331,9 +331,9 @@ void NodeService::spill_one(std::function<void(bool)> done) {
               // Re-check: the owner may have removed or moved the entry
               // while the replicated put was in flight — committing now
               // would resurrect it with stale data and leak the blocks.
-              Ldmc* owner_client = client(owner);
-              auto current = owner_client != nullptr
-                                 ? owner_client->map().lookup(entry)
+              Ldmc* live_client = client(owner);
+              auto current = live_client != nullptr
+                                 ? live_client->map().lookup(entry)
                                  : NotFoundError("owner gone");
               if (!current.ok() ||
                   current->tier != mem::Tier::kSharedMemory) {
@@ -347,7 +347,7 @@ void NodeService::spill_one(std::function<void(bool)> done) {
               mem::EntryLocation loc = old;
               loc.tier = mem::Tier::kRemote;
               loc.replicas = *std::move(replicas);
-              owner_client->map().commit(entry, std::move(loc));
+              live_client->map().commit(entry, std::move(loc));
               (void)node_.shm().remove(owner, entry);
               ++metrics_.counter("ldms.spilled_to_remote");
               done(true);
@@ -509,23 +509,23 @@ void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
                 ++metrics_.counter("ldms.migrate_put_failed");
                 return;
               }
-              Ldmc* owner = client(server);
+              Ldmc* live_owner = client(server);
               // Re-check: the entry may have been removed or relocated
               // while the migration was in flight (same rule as the
               // repair path) — never resurrect it.
-              auto current = owner != nullptr
-                                 ? owner->map().lookup(entry)
+              auto current = live_owner != nullptr
+                                 ? live_owner->map().lookup(entry)
                                  : NotFoundError("owner gone");
               if (!current.ok() || current->tier != mem::Tier::kRemote) {
                 rdmc_.free_replicas(*std::move(fresh));
                 ++metrics_.counter("ldms.migrate_stale");
                 return;
               }
-              mem::EntryLocation loc = std::move(base);
-              loc.replicas = std::move(survivors);
+              mem::EntryLocation updated = std::move(base);
+              updated.replicas = std::move(survivors);
               for (auto& replica : *fresh)
-                loc.replicas.push_back(replica);
-              owner->map().commit(entry, std::move(loc));
+                updated.replicas.push_back(replica);
+              live_owner->map().commit(entry, std::move(updated));
               rdmc_.free_replicas({old_replica});
               ++metrics_.counter("ldms.migrated_entries");
             },
@@ -579,23 +579,23 @@ void NodeService::repair_after_node_down(net::NodeId dead) {
                     ++metrics_.counter("ldms.repair_put_failed");
                     return;
                   }
-                  Ldmc* owner = client(server_id);
-                  if (owner == nullptr) return;
+                  Ldmc* live_owner = client(server_id);
+                  if (live_owner == nullptr) return;
                   // Re-check: the entry may have moved since the repair
                   // started (e.g. removed by the application).
-                  auto current = owner->map().lookup(entry);
+                  auto current = live_owner->map().lookup(entry);
                   if (!current.ok() ||
                       current->tier != mem::Tier::kRemote) {
                     rdmc_.free_replicas(*std::move(fresh));
                     return;
                   }
-                  mem::EntryLocation loc = std::move(base);
-                  loc.replicas = survivors;
+                  mem::EntryLocation updated = std::move(base);
+                  updated.replicas = survivors;
                   for (auto& replica : *fresh)
-                    loc.replicas.push_back(replica);
-                  loc.degraded =
-                      loc.replicas.size() < config_.rdmc.replication;
-                  owner->map().commit(entry, std::move(loc));
+                    updated.replicas.push_back(replica);
+                  updated.degraded =
+                      updated.replicas.size() < config_.rdmc.replication;
+                  live_owner->map().commit(entry, std::move(updated));
                   ++metrics_.counter("ldms.repaired_entries");
                 },
                 exclude, /*count=*/1);
@@ -687,22 +687,24 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
                   done(fresh.status());
                   return;
                 }
-                Ldmc* owner = client(server);
+                Ldmc* live_owner = client(server);
                 // Re-check before committing: never resurrect an entry the
                 // application removed or moved while the repair ran.
-                auto current = owner != nullptr ? owner->map().lookup(entry)
-                                                : NotFoundError("owner gone");
+                auto current = live_owner != nullptr
+                                   ? live_owner->map().lookup(entry)
+                                   : NotFoundError("owner gone");
                 if (!current.ok() || current->tier != mem::Tier::kRemote) {
                   rdmc_.free_replicas(*std::move(fresh));
                   ++metrics_.counter("ldms.repair_stale");
                   done(Status::Ok());
                   return;
                 }
-                mem::EntryLocation loc = std::move(base);
-                loc.replicas = survivors;
-                for (auto& replica : *fresh) loc.replicas.push_back(replica);
-                loc.degraded = loc.replicas.size() < factor;
-                owner->map().commit(entry, std::move(loc));
+                mem::EntryLocation updated = std::move(base);
+                updated.replicas = survivors;
+                for (auto& replica : *fresh)
+                  updated.replicas.push_back(replica);
+                updated.degraded = updated.replicas.size() < factor;
+                live_owner->map().commit(entry, std::move(updated));
                 ++metrics_.counter("ldms.repaired_entries");
                 done(Status::Ok());
               },
@@ -736,9 +738,10 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
                   done(fresh.status());
                   return;
                 }
-                Ldmc* owner = client(server);
-                auto current = owner != nullptr ? owner->map().lookup(entry)
-                                                : NotFoundError("owner gone");
+                Ldmc* live_owner = client(server);
+                auto current = live_owner != nullptr
+                                   ? live_owner->map().lookup(entry)
+                                   : NotFoundError("owner gone");
                 // Promote only if the entry still sits in the same device
                 // extent the bytes were read from.
                 if (!current.ok() || current->tier != old.tier ||
@@ -750,13 +753,13 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
                 }
                 const mem::Tier old_tier = old.tier;
                 const std::uint64_t extent = old.disk_offset;
-                mem::EntryLocation loc = std::move(old);
-                loc.tier = mem::Tier::kRemote;
-                loc.replicas = *std::move(fresh);
-                loc.degraded = loc.replicas.size() < factor;
-                loc.disk_offset = 0;
-                const std::uint32_t stored = loc.stored_size;
-                owner->map().commit(entry, std::move(loc));
+                mem::EntryLocation updated = std::move(old);
+                updated.tier = mem::Tier::kRemote;
+                updated.replicas = *std::move(fresh);
+                updated.degraded = updated.replicas.size() < factor;
+                updated.disk_offset = 0;
+                const std::uint32_t stored = updated.stored_size;
+                live_owner->map().commit(entry, std::move(updated));
                 if (old_tier == mem::Tier::kNvm)
                   free_nvm(extent, stored);
                 else

@@ -23,12 +23,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "cluster/node.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/rdmc.h"
 #include "core/rdms.h"
 #include "mem/memory_map.h"
+#include "net/wire.h"
 
 namespace dm::core {
 
@@ -148,7 +151,7 @@ class NodeService {
     std::map<std::uint32_t, std::vector<std::uint64_t>> free_by_class;
   };
 
-  StatusOr<std::uint64_t> alloc_extent(DiskExtents& extents,
+  [[nodiscard]] StatusOr<std::uint64_t> alloc_extent(DiskExtents& extents,
                                        std::uint64_t capacity,
                                        std::uint32_t size);
 
@@ -166,9 +169,9 @@ class NodeService {
   // callback reports whether space was reclaimed.
   void spill_one(std::function<void(bool)> done);
 
-  StatusOr<std::vector<std::byte>> handle_evict_notice(net::NodeId from,
+  [[nodiscard]] StatusOr<std::vector<std::byte>> handle_evict_notice(net::NodeId from,
                                                        net::WireReader& req);
-  StatusOr<std::vector<std::byte>> handle_query_candidates(
+  [[nodiscard]] StatusOr<std::vector<std::byte>> handle_query_candidates(
       net::NodeId from, net::WireReader& req);
   std::vector<cluster::CandidateNode> local_candidate_view(
       bool include_self) const;
@@ -177,9 +180,9 @@ class NodeService {
                      net::NodeId away_from);
   void repair_after_node_down(net::NodeId dead);
 
-  StatusOr<std::uint64_t> alloc_disk(std::uint32_t size);
+  [[nodiscard]] StatusOr<std::uint64_t> alloc_disk(std::uint32_t size);
   void free_disk(std::uint64_t offset, std::uint32_t size);
-  StatusOr<std::uint64_t> alloc_nvm(std::uint32_t size);
+  [[nodiscard]] StatusOr<std::uint64_t> alloc_nvm(std::uint32_t size);
   void free_nvm(std::uint64_t offset, std::uint32_t size);
   static std::uint32_t disk_class(std::uint32_t size) noexcept;
 
@@ -188,12 +191,14 @@ class NodeService {
   Rdms rdms_;
   Rdmc rdmc_;
   MetricsRegistry metrics_;
-  std::unordered_map<cluster::ServerId, std::unique_ptr<Ldmc>> clients_;
+  // Ordered: repair and eviction scans iterate these and issue RPCs, so
+  // the walk order must not depend on hash-bucket layout.
+  std::map<cluster::ServerId, std::unique_ptr<Ldmc>> clients_;
   DiskExtents disk_extents_;
   DiskExtents nvm_extents_;
   // Per-server disaggregated-memory request counts within the current
   // monitor window (feeds §IV.F policy 2).
-  std::unordered_map<cluster::ServerId, std::uint64_t> dm_requests_window_;
+  std::map<cluster::ServerId, std::uint64_t> dm_requests_window_;
   std::uint64_t remote_puts_window_ = 0;
   std::uint64_t data_loss_ = 0;
   bool monitor_running_ = false;

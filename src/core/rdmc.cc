@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "mem/memory_map.h"
 #include "net/wire.h"
+#include "sim/trace.h"
 
 namespace dm::core {
 

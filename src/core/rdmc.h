@@ -22,6 +22,8 @@
 #include "cluster/node.h"
 #include "cluster/placement.h"
 #include "cluster/protocol.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "mem/memory_map.h"
 
 namespace dm::core {

@@ -1,5 +1,6 @@
 #include "core/rdms.h"
 
+#include "common/status.h"
 #include "net/wire.h"
 
 namespace dm::core {
@@ -126,9 +127,9 @@ void Rdms::drain_slab(mem::SlabId slab,
                          // once and drop the drain so it can be retried.
                          auto it = drains_.find(slab);
                          if (it != drains_.end()) {
-                           auto done = std::move(it->second);
+                           auto cb = std::move(it->second);
                            drains_.erase(it);
-                           done(resp.status());
+                           cb(resp.status());
                          }
                        }
                      });

@@ -17,6 +17,7 @@
 #include "cluster/node.h"
 #include "cluster/protocol.h"
 #include "common/status.h"
+#include "net/wire.h"
 
 namespace dm::core {
 

@@ -2,7 +2,10 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "core/ldmc.h"
+#include "core/node_service.h"
+#include "sim/trace.h"
 
 namespace dm::core {
 

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.h"
 #include "core/node_service.h"
 
 namespace dm::core {

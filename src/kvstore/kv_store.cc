@@ -3,6 +3,9 @@
 #include <cstring>
 
 #include "common/checksum.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/ldmc.h"
 
 namespace dm::kv {
 namespace {

@@ -24,6 +24,8 @@
 
 #include "common/lru.h"
 #include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/ldmc.h"
 
 namespace dm::kv {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/status.h"
+#include "net/fabric.h"
+
 namespace dm::mem {
 
 RegisteredBufferPool::RegisteredBufferPool(net::Fabric& fabric,

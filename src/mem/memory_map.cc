@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/status.h"
+
 namespace dm::mem {
 
 MemoryMap::MemoryMap(std::size_t shard_count)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/status.h"
+
 namespace dm::mem {
 
 SharedMemoryPool::SharedMemoryPool() : SharedMemoryPool(Config{}) {}

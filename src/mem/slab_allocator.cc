@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/status.h"
+
 namespace dm::mem {
 
 SlabAllocator::SlabAllocator(std::span<std::byte> arena)

@@ -1,5 +1,9 @@
 #include "net/connection_manager.h"
 
+#include "common/status.h"
+#include "common/units.h"
+#include "net/rpc.h"
+
 namespace dm::net {
 
 void ConnectionManager::register_endpoint(RpcEndpoint* endpoint) {

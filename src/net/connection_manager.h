@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/units.h"
 #include "net/fabric.h"
 #include "net/retry_policy.h"
 #include "net/rpc.h"

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
 namespace dm::net {
 
 Fabric::Fabric(sim::Simulator& simulator) : Fabric(simulator, Config{}) {}

@@ -22,6 +22,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/units.h"
 #include "net/rdma.h"
 #include "sim/latency_model.h"
 #include "sim/simulator.h"

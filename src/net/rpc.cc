@@ -1,5 +1,10 @@
 #include "net/rpc.h"
 
+#include "common/status.h"
+#include "common/units.h"
+#include "net/retry_policy.h"
+#include "net/wire.h"
+
 namespace dm::net {
 namespace {
 

@@ -24,9 +24,12 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/units.h"
 #include "net/fabric.h"
 #include "net/retry_policy.h"
 #include "net/wire.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace dm::net {
 

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
 namespace dm::obs {
 namespace {
 

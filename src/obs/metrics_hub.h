@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/units.h"
 #include "sim/simulator.h"
 
 namespace dm::obs {

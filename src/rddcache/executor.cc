@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "core/ldmc.h"
+
 namespace dm::rdd {
 namespace {
 

@@ -20,6 +20,8 @@
 #include <unordered_set>
 
 #include "common/lru.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/ldmc.h"
 #include "rddcache/rdd.h"
 

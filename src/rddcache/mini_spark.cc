@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "core/dm_system.h"
+
 namespace dm::rdd {
 
 MiniSpark::MiniSpark(core::DmSystem& system, Config config)

@@ -16,7 +16,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
 #include "rddcache/executor.h"
 
 namespace dm::rdd {

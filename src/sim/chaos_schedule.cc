@@ -1,5 +1,9 @@
 #include "sim/chaos_schedule.h"
 
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/failure_injector.h"
+
 namespace dm::sim {
 
 ChaosSchedule::ChaosSchedule(FailureInjector& injector, Hooks hooks)

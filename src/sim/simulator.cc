@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/units.h"
+
 namespace dm::sim {
 
 bool Simulator::step() {

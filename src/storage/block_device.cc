@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
 namespace dm::storage {
 
 BlockDevice::BlockDevice(sim::Simulator& simulator, Config config)

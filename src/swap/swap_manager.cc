@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "compress/page_compressor.h"
+#include "core/ldmc.h"
+#include "swap/pattern_tracker.h"
+
 namespace dm::swap {
 namespace {
 

@@ -67,6 +67,8 @@
 
 #include "common/lru.h"
 #include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "compress/page_compressor.h"
 #include "core/ldmc.h"
 #include "swap/pattern_tracker.h"

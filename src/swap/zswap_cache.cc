@@ -1,5 +1,7 @@
 #include "swap/zswap_cache.h"
 
+#include "common/status.h"
+
 namespace dm::swap {
 
 StatusOr<std::vector<ZswapCache::Writeback>> ZswapCache::put(

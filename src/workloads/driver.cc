@@ -1,5 +1,12 @@
 #include "workloads/driver.h"
 
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "swap/swap_manager.h"
+#include "workloads/app_catalog.h"
 #include "workloads/page_content.h"
 
 namespace dm::workloads {

@@ -18,6 +18,8 @@
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "swap/swap_manager.h"
 #include "workloads/app_catalog.h"
 

@@ -21,8 +21,11 @@
 
 #include "common/checksum.h"
 #include "common/rng.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
 #include "core/repair_service.h"
+#include "mem/memory_map.h"
 #include "sim/chaos_schedule.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"

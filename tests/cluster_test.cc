@@ -9,6 +9,11 @@
 #include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/connection_manager.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
 
 namespace dm::cluster {
 namespace {
@@ -64,12 +69,13 @@ INSTANTIATE_TEST_SUITE_P(
                       PlacementPolicyKind::kRoundRobin,
                       PlacementPolicyKind::kWeightedRoundRobin,
                       PlacementPolicyKind::kPowerOfTwoChoices),
-    [](const auto& info) {
-      return std::string(to_string(info.param)) == "round-robin"
+    [](const auto& param_info) {
+      return std::string(to_string(param_info.param)) == "round-robin"
                  ? "round_robin"
-                 : std::string(to_string(info.param)) == "weighted-rr"
+                 : std::string(to_string(param_info.param)) == "weighted-rr"
                        ? "weighted_rr"
-                       : std::string(to_string(info.param)) == "power-of-two"
+                       : std::string(to_string(param_info.param)) ==
+                                 "power-of-two"
                              ? "power_of_two"
                              : "random";
     });

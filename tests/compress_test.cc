@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "compress/lz.h"
 #include "compress/page_compressor.h"
 #include "workloads/page_content.h"

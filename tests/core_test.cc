@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
+#include "mem/memory_map.h"
 #include "workloads/page_content.h"
 
 namespace dm::core {

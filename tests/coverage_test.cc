@@ -4,7 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/status.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
+#include "net/connection_manager.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
 #include "workloads/page_content.h"
 
 namespace dm::core {

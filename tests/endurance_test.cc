@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/rng.h"
 #include "core/dm_system.h"
 #include "kvstore/kv_store.h"
 #include "rddcache/mini_spark.h"
+#include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "workloads/driver.h"
 #include "workloads/page_content.h"

@@ -6,13 +6,18 @@
 #include <map>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
 #include "core/repair_service.h"
+#include "mem/memory_map.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 #include "sim/failure_injector.h"
+#include "sim/simulator.h"
 #include "workloads/page_content.h"
 
 namespace dm::net {

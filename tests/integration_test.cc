@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/rng.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
+#include "mem/memory_map.h"
 #include "rddcache/mini_spark.h"
+#include "swap/swap_manager.h"
 #include "swap/systems.h"
+#include "workloads/app_catalog.h"
 #include "workloads/driver.h"
 #include "workloads/page_content.h"
 

@@ -1,7 +1,11 @@
 // Tests for the key-value cache over disaggregated memory.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
 #include "kvstore/kv_store.h"
 #include "workloads/page_content.h"
 

@@ -1,0 +1,5 @@
+// Fixture: a layering back-edge — common is the root of the DAG and may
+// depend on nothing, so including a core header is rejected.
+#pragma once
+
+#include "core/ldmc.h"  // line 5: layer-dep (common -> core back-edge)

@@ -1,0 +1,16 @@
+// Fixture: the `dm-lint: allow(...)` escape hatch. Every violation below
+// carries a marker, so this file must produce zero findings.
+#include <cstdlib>
+
+namespace dm::core {
+
+int sanctioned_entropy() {
+  // dm-lint: allow(det-rand)
+  return rand();  // covered by the marker on the line above
+}
+
+const char* sanctioned_env() {
+  return getenv("HOME");  // dm-lint: allow(det-getenv)
+}
+
+}  // namespace dm::core

@@ -1,0 +1,37 @@
+// Fixture: every determinism-source ban in one file. Line numbers are
+// asserted by tests/lint_test.cc — keep edits in sync.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dm::core {
+
+int roll_dice() {
+  return rand() % 6;  // line 11: det-rand (libc rand)
+}
+
+std::mt19937 make_engine() {        // line 14: det-rand (engine type)
+  std::random_device seed_source;   // line 15: det-rand (hardware seed)
+  return std::mt19937(seed_source());
+}
+
+long stamp_now() {
+  auto wall = std::chrono::system_clock::now();  // line 20: det-wallclock
+  (void)wall;
+  return time(nullptr);  // line 22: det-wallclock (libc time)
+}
+
+const char* probe_environment() {
+  return getenv("DM_FIXTURE_MODE");  // line 26: det-getenv
+}
+
+std::size_t identity_key(const void* p) {
+  return std::hash<const void*>{}(p);  // line 30: det-ptr-hash
+}
+
+unsigned long long address_of(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // line 34: det-ptr-hash
+}
+
+}  // namespace dm::core

@@ -1,0 +1,9 @@
+// Fixture: names a project vocabulary type without including its header
+// directly (IWYU-lite). Line numbers are asserted by tests/lint_test.cc.
+#include "common/status.h"
+
+namespace dm::core {
+
+Status wait_a_while(SimTime deadline);  // line 7: include-direct (SimTime)
+
+}  // namespace dm::core

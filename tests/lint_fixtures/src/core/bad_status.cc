@@ -1,0 +1,13 @@
+// Fixture: a Status-returning call whose result is dropped on the floor.
+// Line numbers are asserted by tests/lint_test.cc.
+#include "common/status.h"
+
+namespace dm::core {
+
+Status flush_journal();
+
+void shutdown_node() {
+  flush_journal();  // line 10: status-discard
+}
+
+}  // namespace dm::core

@@ -1,0 +1,17 @@
+// Fixture: negative control. Deterministic, layered, status-checked, and
+// include-hygienic — must produce zero findings.
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dm::core {
+
+Status advance(SimTime step);
+
+Status run_epoch(Rng& rng, SimTime step) {
+  if (rng.bernoulli(0.5)) return advance(step);
+  Status s = advance(2 * step);
+  return s;
+}
+
+}  // namespace dm::core

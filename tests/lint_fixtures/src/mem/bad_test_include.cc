@@ -1,0 +1,5 @@
+// Fixture: src/ reaching into the test tree. Production code must never
+// include test helpers.
+#include "tests/lint_helpers.h"  // line 3: layer-test-include
+
+namespace dm::mem {}

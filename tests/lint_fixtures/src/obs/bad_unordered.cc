@@ -1,0 +1,18 @@
+// Fixture: iterating an unordered container in an exporting file (src/obs/
+// is exporting by path). Line numbers are asserted by tests/lint_test.cc.
+#include <string>
+#include <unordered_map>
+
+namespace dm::obs {
+
+std::unordered_map<std::string, int> counters_;
+
+std::string export_counters() {
+  std::string out;
+  for (const auto& [name, value] : counters_) {  // line 12: det-unordered-iter
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace dm::obs

@@ -1,0 +1,99 @@
+// dm_lint end-to-end tests: every rule must fire on its seeded fixture at
+// the expected (file, line), the escape hatch and the clean file must stay
+// silent, the real tree must lint clean, and the output must be stable.
+//
+// DM_LINT_FIXTURE_DIR / DM_LINT_SOURCE_ROOT are injected by
+// tests/CMakeLists.txt so the test is independent of the build directory.
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dm_lint_core.h"
+
+namespace dm::lint {
+namespace {
+
+std::vector<Diagnostic> run_on_fixtures() {
+  Options options;
+  options.root = DM_LINT_FIXTURE_DIR;
+  return run(options);
+}
+
+struct Expected {
+  const char* file;
+  int line;
+  const char* rule;
+};
+
+// Keep in sync with tests/lint_fixtures/ — each entry is one seeded
+// violation. Sorted by (file, line, rule), matching analyzer output order.
+const Expected kExpected[] = {
+    {"src/common/bad_layering.h", 5, kRuleLayerDep},
+    {"src/core/bad_determinism.cc", 11, kRuleRand},
+    {"src/core/bad_determinism.cc", 14, kRuleRand},
+    {"src/core/bad_determinism.cc", 15, kRuleRand},
+    {"src/core/bad_determinism.cc", 16, kRuleRand},
+    {"src/core/bad_determinism.cc", 20, kRuleWallclock},
+    {"src/core/bad_determinism.cc", 22, kRuleWallclock},
+    {"src/core/bad_determinism.cc", 26, kRuleGetenv},
+    {"src/core/bad_determinism.cc", 30, kRulePtrHash},
+    {"src/core/bad_determinism.cc", 34, kRulePtrHash},
+    {"src/core/bad_include.cc", 7, kRuleIncludeDirect},
+    {"src/core/bad_status.cc", 10, kRuleStatusDiscard},
+    {"src/mem/bad_test_include.cc", 3, kRuleLayerTestInclude},
+    {"src/obs/bad_unordered.cc", 12, kRuleUnorderedIter},
+};
+
+TEST(LintFixturesTest, EverySeededViolationIsDetected) {
+  const auto diags = run_on_fixtures();
+  ASSERT_EQ(diags.size(), std::size(kExpected)) << to_text(diags);
+  for (std::size_t i = 0; i < std::size(kExpected); ++i) {
+    EXPECT_EQ(diags[i].file, kExpected[i].file) << "at index " << i;
+    EXPECT_EQ(diags[i].line, kExpected[i].line) << "at index " << i;
+    EXPECT_EQ(diags[i].rule, kExpected[i].rule) << "at index " << i;
+    EXPECT_FALSE(diags[i].message.empty());
+  }
+}
+
+TEST(LintFixturesTest, AllowMarkerAndCleanFileProduceNoFindings) {
+  for (const Diagnostic& d : run_on_fixtures()) {
+    EXPECT_NE(d.file, "src/core/allow_escape.cc") << to_text({d});
+    EXPECT_NE(d.file, "src/core/clean.cc") << to_text({d});
+  }
+}
+
+TEST(LintFixturesTest, OutputIsSortedAndStableAcrossRuns) {
+  const auto first = run_on_fixtures();
+  const auto second = run_on_fixtures();
+  EXPECT_EQ(to_json(first), to_json(second));
+  EXPECT_TRUE(std::is_sorted(
+      first.begin(), first.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return std::tie(a.file, a.line, a.rule) <
+               std::tie(b.file, b.line, b.rule);
+      }));
+}
+
+TEST(LintFixturesTest, JsonFollowsBenchConventions) {
+  const auto diags = run_on_fixtures();
+  const std::string json = to_json(diags);
+  EXPECT_NE(json.find("\"tool\": \"dm_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"det-rand\""), std::string::npos);
+  EXPECT_TRUE(json.ends_with("\n"));
+}
+
+// The real tree must stay violation-free: this is the same scan `ci.sh
+// --lint-only` runs, kept as a ctest so a stray rand() or layering
+// back-edge fails the default suite too, not just CI.
+TEST(LintTreeTest, SourceTreeIsClean) {
+  Options options;
+  options.root = DM_LINT_SOURCE_ROOT;
+  const auto diags = run(options);
+  EXPECT_TRUE(diags.empty()) << to_text(diags);
+}
+
+}  // namespace
+}  // namespace dm::lint

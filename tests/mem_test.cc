@@ -5,11 +5,13 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "mem/buffer_pool.h"
 #include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
 #include "mem/slab_allocator.h"
 #include "net/fabric.h"
+#include "sim/simulator.h"
 
 namespace dm::mem {
 namespace {

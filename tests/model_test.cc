@@ -17,12 +17,16 @@
 #include <unordered_map>
 
 #include "common/checksum.h"
+#include "common/lru.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/dm_system.h"
 #include "mem/buffer_pool.h"
 #include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
 #include "net/fabric.h"
+#include "sim/simulator.h"
+#include "swap/pattern_tracker.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "workloads/page_content.h"

@@ -4,10 +4,13 @@
 
 #include <numeric>
 
+#include "common/status.h"
+#include "common/units.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
 #include "net/rpc.h"
 #include "net/wire.h"
+#include "sim/simulator.h"
 #include "sim/trace.h"
 
 namespace dm::net {

@@ -7,11 +7,17 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "core/dm_system.h"
 #include "net/connection_manager.h"
+#include "net/fabric.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 #include "obs/metrics_hub.h"
+#include "sim/simulator.h"
 #include "sim/trace.h"
 
 namespace dm {

@@ -1,6 +1,7 @@
 // Tests for the mini-Spark RDD layer and DAHI off-heap caching.
 #include <gtest/gtest.h>
 
+#include "common/units.h"
 #include "core/dm_system.h"
 #include "rddcache/mini_spark.h"
 

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "common/checksum.h"
+#include "common/histogram.h"
+#include "common/status.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
 #include "core/repair_service.h"
 #include "swap/swap_manager.h"
 #include "workloads/page_content.h"

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "sim/chaos_schedule.h"
 #include "sim/failure_injector.h"
 #include "sim/latency_model.h"

@@ -1,6 +1,9 @@
 // Tests for the simulated block device and swap extent allocator.
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
 #include "storage/block_device.h"
 
 namespace dm::storage {

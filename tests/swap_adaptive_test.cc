@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/rng.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
 #include "swap/pattern_tracker.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
@@ -144,8 +147,8 @@ TEST(AdaptiveWindowTest, StartClampedIntoBounds) {
 // --- end-to-end adaptive behaviour ------------------------------------------
 
 struct Rig {
-  explicit Rig(SystemSetup setup, double content_random = 0.3)
-      : setup(std::move(setup)) {
+  explicit Rig(SystemSetup system_setup, double content_random = 0.3)
+      : setup(std::move(system_setup)) {
     core::DmSystem::Config config;
     config.node_count = 4;
     config.node.shm.arena_bytes = 16 * MiB;

@@ -6,7 +6,10 @@
 #include <tuple>
 
 #include "common/checksum.h"
+#include "common/rng.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
+#include "core/node_service.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "workloads/page_content.h"

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "common/checksum.h"
+#include "common/rng.h"
+#include "common/units.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "swap/zswap_cache.h"
@@ -13,9 +16,9 @@ namespace dm::swap {
 namespace {
 
 struct Rig {
-  explicit Rig(SystemSetup setup, std::size_t nodes = 4,
+  explicit Rig(SystemSetup system_setup, std::size_t nodes = 4,
                double content_random = 0.3)
-      : setup(std::move(setup)) {
+      : setup(std::move(system_setup)) {
     core::DmSystem::Config config;
     config.node_count = nodes;
     config.node.shm.arena_bytes = 16 * MiB;
@@ -215,8 +218,8 @@ INSTANTIATE_TEST_SUITE_P(AllSystems, SwapIntegrity,
                                            SystemKind::kNbdx,
                                            SystemKind::kLinux,
                                            SystemKind::kZswap),
-                         [](const auto& info) {
-                           std::string name{to_string(info.param)};
+                         [](const auto& param_info) {
+                           std::string name{to_string(param_info.param)};
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

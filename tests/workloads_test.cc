@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "compress/lz.h"
 #include "core/dm_system.h"
+#include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "workloads/app_catalog.h"
 #include "workloads/driver.h"

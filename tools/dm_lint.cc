@@ -1,0 +1,55 @@
+// dm_lint CLI: run the project invariant checks over the tree.
+//
+//   dm_lint [--json] [--root DIR] [--no-default-skips] [path...]
+//
+// With no paths, scans {src, bench, tests, tools, examples} under --root
+// (default "."), skipping the seeded-violation fixture tree and build
+// directories. Output is sorted by (file, line, rule) and byte-stable
+// across runs; --json emits the same findings in the machine-readable
+// format the bench snapshots use. Exit status: 0 clean, 1 findings,
+// 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dm_lint_core.h"
+
+int main(int argc, char** argv) {
+  dm::lint::Options options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dm_lint: --root needs a directory\n");
+        return 2;
+      }
+      options.root = argv[++i];
+    } else if (std::strcmp(arg, "--no-default-skips") == 0) {
+      options.use_default_skips = false;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: dm_lint [--json] [--root DIR] [--no-default-skips] "
+          "[path...]\n");
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "dm_lint: unknown flag '%s'\n", arg);
+      return 2;
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+
+  const std::vector<dm::lint::Diagnostic> diags = dm::lint::run(options);
+  if (json) {
+    std::fputs(dm::lint::to_json(diags).c_str(), stdout);
+  } else {
+    std::fputs(dm::lint::to_text(diags).c_str(), stdout);
+    std::fprintf(stderr, "dm_lint: %zu finding%s\n", diags.size(),
+                 diags.size() == 1 ? "" : "s");
+  }
+  return diags.empty() ? 0 : 1;
+}

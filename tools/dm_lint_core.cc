@@ -1,0 +1,1049 @@
+#include "dm_lint_core.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace dm::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Per-file preprocessed view: raw lines, a "code" view with comments and
+// string/char literal contents blanked to spaces (quote characters kept so
+// tokens never merge across a literal), per-line comment text for allow
+// markers, and the include list pulled from the raw lines.
+// ---------------------------------------------------------------------------
+struct SourceFile {
+  std::string rel;                 // root-relative path, '/' separators
+  std::string module;              // "common", "swap", ... or "tests" etc.
+  bool in_src = false;
+  std::vector<std::string> lines;  // raw
+  std::vector<std::string> code;   // literals/comments blanked
+  std::vector<std::string> comments;              // comment text per line
+  std::vector<std::pair<int, std::string>> includes;  // (line, quoted path)
+  // rule -> lines on which the rule is explicitly allowed
+  std::map<std::string, std::set<int>> allow;
+  std::set<std::string> unordered_names;  // vars/accessors of unordered type
+  std::set<std::string> fwd_decls;        // `class X;` / `struct X;`
+  bool exporting = false;  // produces exported artifacts (JSON, wire, ...)
+};
+
+std::string module_of(const std::string& rel) {
+  const auto slash = rel.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string head = rel.substr(0, slash);
+  if (head != "src") return head;
+  const auto second = rel.find('/', slash + 1);
+  if (second == std::string::npos) return "";
+  return rel.substr(slash + 1, second - slash - 1);
+}
+
+void parse_allow_markers(SourceFile& file) {
+  for (std::size_t i = 0; i < file.comments.size(); ++i) {
+    const std::string& comment = file.comments[i];
+    auto at = comment.find("dm-lint:");
+    if (at == std::string::npos) continue;
+    at = comment.find("allow(", at);
+    if (at == std::string::npos) continue;
+    const auto close = comment.find(')', at);
+    if (close == std::string::npos) continue;
+    std::string list = comment.substr(at + 6, close - at - 6);
+    std::stringstream ss(list);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const auto first = rule.find_first_not_of(" \t");
+      const auto last = rule.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      rule = rule.substr(first, last - first + 1);
+      // The marker covers its own line and the line below, so both
+      // trailing-comment and line-above styles work.
+      file.allow[rule].insert(static_cast<int>(i) + 1);
+      file.allow[rule].insert(static_cast<int>(i) + 2);
+    }
+  }
+}
+
+// Blanks comments and literal contents. Tracks block comments and raw
+// string literals across lines.
+void strip_literals(SourceFile& file) {
+  enum class State { kCode, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  file.code.resize(file.lines.size());
+  file.comments.resize(file.lines.size());
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& in = file.lines[li];
+    std::string out(in.size(), ' ');
+    std::string comment;
+    for (std::size_t i = 0; i < in.size();) {
+      if (state == State::kBlockComment) {
+        if (in.compare(i, 2, "*/") == 0) {
+          state = State::kCode;
+          i += 2;
+        } else {
+          comment += in[i];
+          ++i;
+        }
+        continue;
+      }
+      if (state == State::kRawString) {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (in.compare(i, closer.size(), closer) == 0) {
+          state = State::kCode;
+          out[i + closer.size() - 1] = '"';
+          i += closer.size();
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = in[i];
+      if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+        comment += in.substr(i + 2);
+        break;  // rest of line is comment
+      }
+      if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+        state = State::kBlockComment;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"' &&
+          (i == 0 || !is_ident_char(in[i - 1]))) {
+        const auto open = in.find('(', i + 2);
+        if (open != std::string::npos) {
+          raw_delim = in.substr(i + 2, open - i - 2);
+          out[i] = 'R';
+          out[i + 1] = '"';
+          state = State::kRawString;
+          i = open + 1;
+          continue;
+        }
+      }
+      if (c == '"') {
+        out[i] = '"';
+        ++i;
+        while (i < in.size() && in[i] != '"') {
+          i += (in[i] == '\\') ? 2 : 1;
+        }
+        if (i < in.size()) out[i] = '"';
+        ++i;
+        continue;
+      }
+      if (c == '\'' && i > 0 && is_ident_char(in[i - 1])) {
+        ++i;  // digit separator (1'000'000), not a char literal
+        continue;
+      }
+      if (c == '\'') {
+        out[i] = '\'';
+        ++i;
+        while (i < in.size() && in[i] != '\'') {
+          i += (in[i] == '\\') ? 2 : 1;
+        }
+        if (i < in.size()) out[i] = '\'';
+        ++i;
+        continue;
+      }
+      out[i] = c;
+      ++i;
+    }
+    file.code[li] = std::move(out);
+    file.comments[li] = std::move(comment);
+  }
+}
+
+void parse_includes(SourceFile& file) {
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& line = file.lines[li];
+    const auto hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    const auto inc = line.find("include", hash);
+    if (inc == std::string::npos) continue;
+    const auto open = line.find('"', inc);
+    if (open == std::string::npos) continue;
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    file.includes.emplace_back(static_cast<int>(li) + 1,
+                               line.substr(open + 1, close - open - 1));
+  }
+}
+
+// Matches a balanced <...> starting at `pos` (which must point at '<').
+// Returns the index one past the closing '>', or npos.
+std::size_t skip_angles(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+void collect_unordered_names(SourceFile& file) {
+  for (const std::string& line : file.code) {
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("unordered_", pos);
+      if (at == std::string::npos) break;
+      pos = at + 1;
+      if (at > 0 && is_ident_char(line[at - 1])) continue;
+      std::size_t i = at;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      const std::string kind = line.substr(at, i - at);
+      if (kind != "unordered_map" && kind != "unordered_set" &&
+          kind != "unordered_multimap" && kind != "unordered_multiset") {
+        continue;
+      }
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '<') continue;
+      i = skip_angles(line, i);
+      if (i == std::string::npos) continue;
+      while (i < line.size() &&
+             (line[i] == ' ' || line[i] == '&' || line[i] == '*')) {
+        ++i;
+      }
+      std::size_t name_start = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      if (i > name_start && is_ident_start(line[name_start])) {
+        file.unordered_names.insert(line.substr(name_start, i - name_start));
+      }
+    }
+  }
+}
+
+void collect_fwd_decls(SourceFile& file) {
+  for (const std::string& line : file.code) {
+    for (const char* kw : {"class", "struct"}) {
+      for (std::size_t pos = 0;;) {
+        auto at = line.find(kw, pos);
+        if (at == std::string::npos) break;
+        pos = at + 1;
+        const std::size_t kwlen = std::string_view(kw).size();
+        if (at > 0 && is_ident_char(line[at - 1])) continue;
+        if (at + kwlen >= line.size() || line[at + kwlen] != ' ') continue;
+        std::size_t i = at + kwlen + 1;
+        const std::size_t name_start = i;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        const std::size_t name_end = i;
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i < line.size() && line[i] == ';' && name_end > name_start) {
+          file.fwd_decls.insert(line.substr(name_start, name_end - name_start));
+        }
+      }
+    }
+  }
+}
+
+// Files that produce exported artifacts: obs snapshots, bench JSON, the
+// RPC wire format. Detected by path and by the tokens those emitters use.
+void detect_exporting(SourceFile& file) {
+  if (file.rel.rfind("src/obs/", 0) == 0 || file.rel.rfind("bench/", 0) == 0 ||
+      file.rel == "src/net/wire.h") {
+    file.exporting = true;
+    return;
+  }
+  static const std::array<const char*, 7> kMarkers = {
+      "json_escape", "snapshot_json", "prometheus_text", "to_json",
+      "WireWriter",  "BenchJson",     "export_json"};
+  for (const std::string& line : file.code) {
+    for (const char* marker : kMarkers) {
+      const auto at = line.find(marker);
+      if (at == std::string::npos) continue;
+      const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+      const auto end = at + std::string_view(marker).size();
+      const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+      if (left_ok && right_ok) {
+        file.exporting = true;
+        return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering table: transitive closure of the CMake link graph. A module may
+// include itself and anything in its set. Unknown src/ modules are an error
+// so a new subsystem has to be placed in the DAG deliberately.
+// ---------------------------------------------------------------------------
+const std::map<std::string, std::set<std::string>>& layer_table() {
+  static const std::map<std::string, std::set<std::string>> kTable = [] {
+    std::map<std::string, std::set<std::string>> t;
+    t["common"] = {};
+    t["sim"] = {"common"};
+    t["obs"] = {"sim", "common"};
+    t["net"] = {"sim", "common"};
+    t["storage"] = {"sim", "common"};
+    t["compress"] = {"common"};
+    t["mem"] = {"net", "sim", "common"};
+    t["cluster"] = {"mem", "net", "storage", "sim", "common"};
+    t["core"] = {"cluster", "mem", "net", "storage", "obs", "sim", "common"};
+    t["swap"] = t["core"];
+    t["swap"].insert({"core", "compress"});
+    t["kvstore"] = t["swap"];
+    t["kvstore"].erase("compress");
+    t["rddcache"] = t["kvstore"];
+    t["workloads"] = t["swap"];
+    t["workloads"].insert("swap");
+    for (auto& [name, deps] : t) deps.insert(name);
+    return t;
+  }();
+  return kTable;
+}
+
+// ---------------------------------------------------------------------------
+// include-direct token map: distinctive project names -> owning header.
+// A file whose code names one of these must include the header directly
+// (IWYU-lite); transitive pulls rot when intermediate headers slim down.
+// ---------------------------------------------------------------------------
+const std::map<std::string, std::string>& owner_table() {
+  static const std::map<std::string, std::string> kOwners = {
+      {"Status", "common/status.h"},
+      {"StatusOr", "common/status.h"},
+      {"StatusCode", "common/status.h"},
+      {"SimTime", "common/units.h"},
+      {"MetricsRegistry", "common/metrics.h"},
+      {"Histogram", "common/histogram.h"},
+      {"Rng", "common/rng.h"},
+      {"ZipfGenerator", "common/rng.h"},
+      {"LruTracker", "common/lru.h"},
+      {"Logger", "common/logging.h"},
+      {"fnv1a", "common/checksum.h"},
+      {"Simulator", "sim/simulator.h"},
+      {"Tracer", "sim/trace.h"},
+      {"FailureInjector", "sim/failure_injector.h"},
+      {"ChaosSchedule", "sim/chaos_schedule.h"},
+      {"LatencyModel", "sim/latency_model.h"},
+      {"WireReader", "net/wire.h"},
+      {"WireWriter", "net/wire.h"},
+      {"Fabric", "net/fabric.h"},
+      {"RpcEndpoint", "net/rpc.h"},
+      {"RetryPolicy", "net/retry_policy.h"},
+      {"ConnectionManager", "net/connection_manager.h"},
+      {"BlockDevice", "storage/block_device.h"},
+      {"SwapExtentAllocator", "storage/block_device.h"},
+      {"SlabAllocator", "mem/slab_allocator.h"},
+      {"BufferPool", "mem/buffer_pool.h"},
+      {"SharedMemoryPool", "mem/shared_memory_pool.h"},
+      {"MemoryMap", "mem/memory_map.h"},
+      {"EntryLocation", "mem/memory_map.h"},
+      {"RemoteReplica", "mem/memory_map.h"},
+      {"PlacementPolicy", "cluster/placement.h"},
+      {"PlacementPolicyKind", "cluster/placement.h"},
+      {"Membership", "cluster/membership.h"},
+      {"GroupDirectory", "cluster/group.h"},
+      {"LeaderElection", "cluster/group.h"},
+      {"VirtualServer", "cluster/virtual_server.h"},
+      {"Ldmc", "core/ldmc.h"},
+      {"Rdmc", "core/rdmc.h"},
+      {"Rdms", "core/rdms.h"},
+      {"NodeService", "core/node_service.h"},
+      {"LdmcOptions", "core/node_service.h"},
+      {"DmSystem", "core/dm_system.h"},
+      {"RepairService", "core/repair_service.h"},
+      {"PageCompressor", "compress/page_compressor.h"},
+      {"CompressedPage", "compress/page_compressor.h"},
+      {"SwapManager", "swap/swap_manager.h"},
+      {"PatternTracker", "swap/pattern_tracker.h"},
+      {"AdaptiveWindow", "swap/pattern_tracker.h"},
+      {"SystemSetup", "swap/systems.h"},
+      {"SystemKind", "swap/systems.h"},
+      {"ZswapCache", "swap/zswap_cache.h"},
+      {"KvStore", "kvstore/kv_store.h"},
+      {"MetricsHub", "obs/metrics_hub.h"},
+      {"MiniSpark", "rddcache/mini_spark.h"},
+      {"AppSpec", "workloads/app_catalog.h"},
+  };
+  return kOwners;
+}
+
+// Determinism token sets. Function-like names are only flagged when called
+// (next significant char '('; not a member access), type-like names on any
+// use.
+const std::set<std::string>& banned_rand_calls() {
+  static const std::set<std::string> k = {"rand", "srand", "rand_r",
+                                          "drand48", "lrand48", "srandom"};
+  return k;
+}
+const std::set<std::string>& banned_rand_types() {
+  static const std::set<std::string> k = {
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "ranlux24",      "ranlux48",     "knuth_b"};
+  return k;
+}
+const std::set<std::string>& banned_clock_calls() {
+  static const std::set<std::string> k = {
+      "time",      "clock",     "gettimeofday", "clock_gettime",
+      "localtime", "gmtime",    "mktime",       "strftime",
+      "timespec_get"};
+  return k;
+}
+const std::set<std::string>& banned_clock_types() {
+  static const std::set<std::string> k = {"system_clock", "steady_clock",
+                                          "high_resolution_clock"};
+  return k;
+}
+const std::set<std::string>& banned_env_calls() {
+  static const std::set<std::string> k = {"getenv", "secure_getenv", "setenv",
+                                          "putenv", "unsetenv"};
+  return k;
+}
+
+struct Token {
+  std::string text;
+  int line = 0;         // 1-based
+  char prev = '\0';     // previous significant char ('\0' at start)
+  char prev2 = '\0';    // the one before that (detects "->")
+  char next = '\0';     // next significant char
+};
+
+std::vector<Token> tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  char prev = '\0';
+  char prev2 = '\0';
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t i = 0; i < line.size();) {
+      const char c = line[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t start = i;
+        while (i < line.size() && is_ident_char(line[i])) ++i;
+        Token t;
+        t.text = line.substr(start, i - start);
+        t.line = static_cast<int>(li) + 1;
+        t.prev = prev;
+        t.prev2 = prev2;
+        // Next significant char: rest of this line, else '\0' (a call
+        // paren split across lines is rare enough to ignore).
+        for (std::size_t j = i; j < line.size(); ++j) {
+          if (line[j] != ' ' && line[j] != '\t') {
+            t.next = line[j];
+            break;
+          }
+        }
+        prev2 = prev;
+        prev = t.text.back();
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      prev2 = prev;
+      prev = c;
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+bool is_member_access(const Token& t) {
+  return t.prev == '.' || (t.prev == '>' && t.prev2 == '-');
+}
+
+// ---------------------------------------------------------------------------
+// Statement reconstruction for the status-discard rule: split the code view
+// into `...;` statements at paren depth 0, flushing on braces so lambda and
+// function bodies are analyzed as their own statements.
+// ---------------------------------------------------------------------------
+struct Statement {
+  std::string text;
+  int line = 0;  // line of the statement's first character
+};
+
+std::vector<Statement> split_statements(const SourceFile& file) {
+  std::vector<Statement> statements;
+  std::string current;
+  int start_line = 0;
+  int depth = 0;
+  auto flush = [&](bool terminated) {
+    if (terminated && !current.empty()) {
+      statements.push_back({current, start_line});
+    }
+    current.clear();
+    depth = 0;
+  };
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (char c : line) {
+      if (c == '{' || c == '}') {
+        flush(false);
+        continue;
+      }
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (c == ';' && depth <= 0) {
+        flush(true);
+        continue;
+      }
+      if (current.empty()) {
+        if (c == ' ' || c == '\t') continue;
+        start_line = static_cast<int>(li) + 1;
+      }
+      current += c;
+    }
+    if (!current.empty()) current += ' ';
+  }
+  return statements;
+}
+
+// If `statement` is exactly a call chain (`a.b(...).c(...)`, `foo(...)`,
+// `ns::foo(...)`) returns the name of the final call, else "".
+std::string final_call_name(const std::string& s) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  };
+  auto read_ident = [&]() -> std::string {
+    skip_ws();
+    if (i >= s.size() || !is_ident_start(s[i])) return "";
+    std::size_t start = i;
+    while (i < s.size() && is_ident_char(s[i])) ++i;
+    return s.substr(start, i - start);
+  };
+  auto skip_parens = [&]() -> bool {
+    skip_ws();
+    if (i >= s.size() || s[i] != '(') return false;
+    int depth = 0;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '(') ++depth;
+      if (s[i] == ')' && --depth == 0) {
+        ++i;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::string last;
+  for (;;) {
+    std::string ident = read_ident();
+    if (ident.empty()) return "";
+    skip_ws();
+    if (i + 1 < s.size() && s[i] == ':' && s[i + 1] == ':') {
+      i += 2;
+      continue;  // qualified name, keep reading
+    }
+    if (i < s.size() && s[i] == '(') {
+      last = ident;
+      if (!skip_parens()) return "";
+      skip_ws();
+      if (i >= s.size()) return last;  // statement ends at the call
+      if (s[i] == '.') {
+        ++i;
+        continue;
+      }
+      if (i + 1 < s.size() && s[i] == '-' && s[i + 1] == '>') {
+        i += 2;
+        continue;
+      }
+      return "";  // trailing operator: not a bare call statement
+    }
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      continue;
+    }
+    if (i + 1 < s.size() && s[i] == '-' && s[i + 1] == '>') {
+      i += 2;
+      continue;
+    }
+    return "";  // two adjacent identifiers (a declaration) or an operator
+  }
+}
+
+bool starts_with_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",      "for",     "while",   "do",      "switch",
+      "case",     "else",    "break",   "continue", "using",  "typedef",
+      "template", "namespace", "class", "struct",  "enum",    "public",
+      "private",  "protected", "static_assert", "throw", "delete", "new",
+      "co_return", "co_await", "goto",  "default", "friend",  "extern",
+      "constexpr", "inline",  "static", "virtual", "explicit", "operator"};
+  std::size_t i = 0;
+  while (i < s.size() && is_ident_char(s[i])) ++i;
+  return kKeywords.count(s.substr(0, i)) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Declared Status/StatusOr-returning function names (the status-discard
+// vocabulary). Names that also appear with a void declaration anywhere are
+// dropped: callback-style overloads (e.g. an async void read() beside a
+// sync Status read()) would otherwise false-positive.
+// ---------------------------------------------------------------------------
+void collect_status_decls(const SourceFile& file,
+                          std::set<std::string>* status_names,
+                          std::set<std::string>* void_names) {
+  for (const std::string& line : file.code) {
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("Status", pos);
+      auto vat = line.find("void", pos);
+      const bool is_void = vat != std::string::npos &&
+                           (at == std::string::npos || vat < at);
+      if (is_void) at = vat;
+      if (at == std::string::npos) break;
+      const std::size_t kwlen = is_void ? 4 : 6;
+      pos = at + 1;
+      if (at > 0 && is_ident_char(line[at - 1])) continue;
+      std::size_t i = at + kwlen;
+      if (!is_void) {
+        // Status, StatusOr<...>, StatusCode (the latter is not a
+        // must-consume vocabulary type).
+        if (i + 1 < line.size() && line.compare(i, 2, "Or") == 0) {
+          i += 2;
+          while (i < line.size() && line[i] == ' ') ++i;
+          if (i >= line.size() || line[i] != '<') continue;
+          i = skip_angles(line, i);
+          if (i == std::string::npos) continue;
+        } else if (i < line.size() && is_ident_char(line[i])) {
+          continue;  // StatusCode, StatusXyz
+        }
+      } else if (i < line.size() && is_ident_char(line[i])) {
+        continue;
+      }
+      while (i < line.size() && (line[i] == ' ' || line[i] == '&')) ++i;
+      std::size_t name_start = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      if (i == name_start || !is_ident_start(line[name_start])) continue;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '(') continue;
+      const std::string name = line.substr(name_start, i - name_start);
+      if (name == "operator") continue;
+      (is_void ? void_names : status_names)->insert(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing.
+// ---------------------------------------------------------------------------
+class Analyzer {
+ public:
+  explicit Analyzer(const Options& options) : options_(options) {}
+
+  std::vector<Diagnostic> run();
+
+ private:
+  void load_tree();
+  void load_file(const fs::path& path, const std::string& rel);
+  void analyze(const SourceFile& file);
+  void check_determinism(const SourceFile& file);
+  void check_unordered_iteration(const SourceFile& file);
+  void check_layering(const SourceFile& file);
+  void check_status_discard(const SourceFile& file);
+  void check_include_direct(const SourceFile& file);
+  void report(const SourceFile& file, int line, const char* rule,
+              std::string message);
+
+  const Options& options_;
+  std::vector<SourceFile> files_;
+  std::set<std::string> status_names_;
+  std::map<std::string, const SourceFile*> by_rel_;
+  std::vector<Diagnostic> diags_;
+};
+
+void Analyzer::report(const SourceFile& file, int line, const char* rule,
+                      std::string message) {
+  auto allowed = [&](const char* r) {
+    auto it = file.allow.find(r);
+    return it != file.allow.end() && it->second.count(line) > 0;
+  };
+  if (allowed(rule) || allowed("all")) return;
+  diags_.push_back({file.rel, line, rule, std::move(message)});
+}
+
+void Analyzer::load_file(const fs::path& path, const std::string& rel) {
+  std::ifstream in(path);
+  if (!in) return;
+  SourceFile file;
+  file.rel = rel;
+  file.module = module_of(rel);
+  file.in_src = rel.rfind("src/", 0) == 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.lines.push_back(line);
+  }
+  parse_includes(file);
+  strip_literals(file);
+  parse_allow_markers(file);
+  collect_unordered_names(file);
+  collect_fwd_decls(file);
+  detect_exporting(file);
+  files_.push_back(std::move(file));
+}
+
+void Analyzer::load_tree() {
+  std::vector<std::string> roots = options_.paths;
+  if (roots.empty()) roots = {"src", "bench", "tests", "tools", "examples"};
+  std::vector<std::string> skips = options_.skip;
+  if (options_.use_default_skips) {
+    skips.emplace_back("lint_fixtures");
+    skips.emplace_back("build");
+  }
+  const fs::path base(options_.root);
+  std::vector<fs::path> candidates;
+  for (const std::string& root : roots) {
+    const fs::path p = fs::path(root).is_absolute() ? fs::path(root)
+                                                    : base / root;
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+      candidates.push_back(p);
+    } else if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const auto ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc") candidates.push_back(it->path());
+      }
+    }
+  }
+  for (const fs::path& p : candidates) {
+    std::error_code ec;
+    std::string rel = fs::relative(p, base, ec).generic_string();
+    if (ec || rel.empty() || rel.rfind("..", 0) == 0) {
+      rel = p.generic_string();
+    }
+    const bool skipped =
+        std::any_of(skips.begin(), skips.end(), [&](const std::string& s) {
+          return rel.find(s) != std::string::npos;
+        });
+    if (!skipped) load_file(p, rel);
+  }
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+}
+
+void Analyzer::check_determinism(const SourceFile& file) {
+  // The simulator layer is the one place virtual time and seeded
+  // randomness are minted, so it is exempt from the source bans (its own
+  // hygiene is covered by review and the escape-hatch comments elsewhere).
+  if (file.rel.rfind("src/sim/", 0) == 0) return;
+  for (const Token& t : tokenize(file)) {
+    if (is_member_access(t)) continue;  // sim.time(), cfg.clock() etc.
+    if (t.next == '(' && banned_rand_calls().count(t.text) > 0) {
+      report(file, t.line, kRuleRand,
+             "call to non-deterministic '" + t.text +
+                 "' (use dm::Rng seeded from the run config)");
+    } else if (banned_rand_types().count(t.text) > 0) {
+      report(file, t.line, kRuleRand,
+             "non-deterministic engine '" + t.text +
+                 "' (use dm::Rng seeded from the run config)");
+    } else if (t.next == '(' && banned_clock_calls().count(t.text) > 0) {
+      report(file, t.line, kRuleWallclock,
+             "wall-clock call '" + t.text +
+                 "' (use sim::Simulator virtual time)");
+    } else if (banned_clock_types().count(t.text) > 0) {
+      report(file, t.line, kRuleWallclock,
+             "wall clock '" + t.text +
+                 "' (use sim::Simulator virtual time)");
+    } else if (t.next == '(' && banned_env_calls().count(t.text) > 0) {
+      report(file, t.line, kRuleGetenv,
+             "environment-dependent call '" + t.text +
+                 "' (thread configuration through explicit options)");
+    }
+  }
+  // Pointer-identity hashing/ordering: std::hash<T*> and
+  // reinterpret_cast<uintptr_t> make iteration order depend on allocation
+  // addresses, which vary run to run.
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("hash", pos);
+      if (at == std::string::npos) break;
+      pos = at + 1;
+      if (at > 0 && is_ident_char(line[at - 1])) continue;
+      std::size_t i = at + 4;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '<') continue;
+      const auto end = skip_angles(line, i);
+      if (end == std::string::npos) continue;
+      if (line.substr(i, end - i).find('*') != std::string::npos) {
+        report(file, static_cast<int>(li) + 1, kRulePtrHash,
+               "hashing a pointer value (order depends on allocation "
+               "addresses; key on a stable id instead)");
+      }
+    }
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("reinterpret_cast", pos);
+      if (at == std::string::npos) break;
+      pos = at + 1;
+      std::size_t i = at + 16;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '<') continue;
+      const auto end = skip_angles(line, i);
+      if (end == std::string::npos) continue;
+      if (line.substr(i, end - i).find("uintptr_t") != std::string::npos) {
+        report(file, static_cast<int>(li) + 1, kRulePtrHash,
+               "pointer-to-integer conversion (address-dependent value; "
+               "key on a stable id instead)");
+      }
+    }
+  }
+}
+
+void Analyzer::check_unordered_iteration(const SourceFile& file) {
+  if (!file.exporting) return;
+  // The paired header's unordered members are visible to this .cc.
+  std::set<std::string> names = file.unordered_names;
+  if (file.rel.size() > 3 && file.rel.ends_with(".cc")) {
+    const std::string pair = file.rel.substr(0, file.rel.size() - 3) + ".h";
+    auto it = by_rel_.find(pair);
+    if (it != by_rel_.end()) {
+      names.insert(it->second->unordered_names.begin(),
+                   it->second->unordered_names.end());
+    }
+  }
+  if (names.empty()) return;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("for", pos);
+      if (at == std::string::npos) break;
+      pos = at + 1;
+      if (at > 0 && is_ident_char(line[at - 1])) continue;
+      if (at + 3 < line.size() && is_ident_char(line[at + 3])) continue;
+      std::size_t i = line.find('(', at);
+      if (i == std::string::npos) continue;
+      // Find the range-for ':' at depth 1 (skipping "::").
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i; j < line.size(); ++j) {
+        if (line[j] == '(') ++depth;
+        if (line[j] == ')' && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (line[j] == ':' && depth == 1) {
+          if (j + 1 < line.size() && line[j + 1] == ':') {
+            ++j;
+            continue;
+          }
+          if (j > 0 && line[j - 1] == ':') continue;
+          if (colon == std::string::npos) colon = j;
+        }
+      }
+      if (colon == std::string::npos || close == std::string::npos) continue;
+      std::string expr = line.substr(colon + 1, close - colon - 1);
+      // Strip trailing call parens, then take the trailing identifier:
+      // `registry->counters()` -> counters, `sources_` -> sources_.
+      auto last = expr.find_last_not_of(" \t");
+      if (last == std::string::npos) continue;
+      expr.resize(last + 1);
+      if (expr.ends_with("()")) expr.resize(expr.size() - 2);
+      last = expr.find_last_not_of(" \t");
+      if (last == std::string::npos) continue;
+      std::size_t start = last + 1;
+      while (start > 0 && is_ident_char(expr[start - 1])) --start;
+      const std::string name = expr.substr(start, last + 1 - start);
+      if (!name.empty() && names.count(name) > 0) {
+        report(file, static_cast<int>(li) + 1, kRuleUnorderedIter,
+               "iterating unordered container '" + name +
+                   "' in an exporting file (sort into a vector or use an "
+                   "ordered map before emitting)");
+      }
+    }
+  }
+}
+
+void Analyzer::check_layering(const SourceFile& file) {
+  const auto& table = layer_table();
+  const bool known_src_module =
+      file.in_src && table.count(file.module) > 0;
+  if (file.in_src && !known_src_module && !file.includes.empty()) {
+    report(file, file.includes.front().first, kRuleLayerDep,
+           "module 'src/" + file.module +
+               "' is not in the layering table (tools/dm_lint_core.cc); "
+               "place it in the dependency DAG first");
+    return;
+  }
+  for (const auto& [line, inc] : file.includes) {
+    if (inc.find("..") != std::string::npos) {
+      report(file, line, kRuleLayerTestInclude,
+             "relative include escapes the include root: \"" + inc + "\"");
+      continue;
+    }
+    if (file.in_src &&
+        (inc.rfind("tests/", 0) == 0 || inc.rfind("bench/", 0) == 0)) {
+      report(file, line, kRuleLayerTestInclude,
+             "src/ must not include test or bench headers: \"" + inc + "\"");
+      continue;
+    }
+    if (!known_src_module) continue;  // tests/bench/tools may include all
+    const auto slash = inc.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target = inc.substr(0, slash);
+    if (table.count(target) == 0) continue;  // not a project module path
+    const auto& allowed = table.at(file.module);
+    if (allowed.count(target) == 0) {
+      report(file, line, kRuleLayerDep,
+             "'" + file.module + "' must not depend on '" + target +
+                 "' (dependency DAG: common -> sim -> {mem,net,storage} -> "
+                 "cluster -> core -> {swap,kvstore,rddcache} -> workloads)");
+    }
+  }
+}
+
+void Analyzer::check_status_discard(const SourceFile& file) {
+  for (const Statement& s : split_statements(file)) {
+    const std::string& text = s.text;
+    if (text.empty() || text[0] == '#' || text[0] == '(') continue;
+    if (starts_with_keyword(text)) continue;
+    // Any top-level '=' means the result is bound somewhere.
+    int depth = 0;
+    bool has_assign = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '(' || c == '[' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '>') --depth;
+      if (c == '=' && depth <= 0) has_assign = true;
+    }
+    if (has_assign) continue;
+    const std::string name = final_call_name(text);
+    if (name.empty() || status_names_.count(name) == 0) continue;
+    report(file, s.line, kRuleStatusDiscard,
+           "result of Status-returning '" + name +
+               "' is discarded (assign, check, or return it)");
+  }
+}
+
+void Analyzer::check_include_direct(const SourceFile& file) {
+  // Identity of this file in include-path terms ("common/status.h" for
+  // src/common/status.h) plus its own header pair.
+  std::string self = file.rel;
+  if (self.rfind("src/", 0) == 0) self = self.substr(4);
+  std::string pair;
+  if (self.ends_with(".cc")) pair = self.substr(0, self.size() - 3) + ".h";
+  std::set<std::string> included;
+  for (const auto& [line, inc] : file.includes) included.insert(inc);
+
+  std::map<std::string, int> first_use;  // owner header -> first line
+  std::map<std::string, std::string> use_token;
+  for (const Token& t : tokenize(file)) {
+    auto it = owner_table().find(t.text);
+    if (it == owner_table().end()) continue;
+    if (is_member_access(t)) continue;
+    const std::string& owner = it->second;
+    if (owner == self || owner == pair) continue;
+    if (included.count(owner) > 0) continue;
+    if (file.fwd_decls.count(t.text) > 0) continue;
+    if (first_use.emplace(owner, t.line).second) use_token[owner] = t.text;
+  }
+  for (const auto& [owner, line] : first_use) {
+    report(file, line, kRuleIncludeDirect,
+           "uses '" + use_token[owner] + "' but does not include \"" + owner +
+               "\" directly (include what you use)");
+  }
+}
+
+void Analyzer::analyze(const SourceFile& file) {
+  check_determinism(file);
+  check_unordered_iteration(file);
+  check_layering(file);
+  check_status_discard(file);
+  check_include_direct(file);
+}
+
+std::vector<Diagnostic> Analyzer::run() {
+  load_tree();
+  std::set<std::string> void_names;
+  for (const SourceFile& file : files_) {
+    by_rel_[file.rel] = &file;
+    collect_status_decls(file, &status_names_, &void_names);
+  }
+  // Names with a void overload anywhere (async callback twins) are
+  // ambiguous at token level, as are names shared with std container
+  // methods (a project `Status erase(key)` vs `map.erase(it)`); the
+  // [[nodiscard]] types still catch those at compile time.
+  static const std::set<std::string> kContainerMethods = {
+      "erase",   "insert",  "clear",   "find",    "count",   "swap",
+      "merge",   "extract", "at",      "emplace", "assign",  "resize",
+      "reserve", "push_back", "pop_back", "push_front", "pop_front"};
+  for (const std::string& name : void_names) status_names_.erase(name);
+  for (const std::string& name : kContainerMethods) status_names_.erase(name);
+  for (const SourceFile& file : files_) analyze(file);
+  std::sort(diags_.begin(), diags_.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  diags_.erase(std::unique(diags_.begin(), diags_.end()), diags_.end());
+  return diags_;
+}
+
+// RFC 8259 escaping, mirroring bench_util.h so lint JSON and bench JSON
+// obey the same conventions.
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run(const Options& options) {
+  return Analyzer(options).run();
+}
+
+std::string to_text(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "{\n\"tool\": \"dm_lint\",\n\"diagnostics\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "{\"file\": \"" + json_escape(d.file) +
+           "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+           json_escape(d.rule) + "\", \"message\": \"" +
+           json_escape(d.message) + "\"}";
+    out += (i + 1 < diags.size()) ? ",\n" : "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace dm::lint

@@ -1,0 +1,86 @@
+// dm_lint: project-invariant static analysis (determinism, layering,
+// status hygiene, include hygiene).
+//
+// The reproduction's results are seeded sim-time runs pinned to
+// byte-identical outputs, so the invariants that keep replays honest are
+// enforced mechanically rather than by review:
+//
+//  * determinism  — no wall clocks, libc/std randomness, environment
+//    probing, or pointer-identity hashing outside the simulator's own
+//    sources of time and the documented escape hatches; no iteration over
+//    unordered containers in files that produce exported artifacts
+//    (obs snapshots, bench JSON, wire encoding).
+//  * layering     — project includes must follow the dependency DAG that
+//    the CMake link graph encodes (common -> sim -> {mem,net,storage} ->
+//    cluster -> core -> {swap,kvstore,rddcache} -> workloads, with obs and
+//    compress as leaves under core/swap); src/ never includes test or
+//    bench headers.
+//  * status       — calls to Status/StatusOr-returning functions must
+//    consume the result (the [[nodiscard]] types catch this at compile
+//    time; the lint rule catches it in code that is not compiled in every
+//    configuration, e.g. fixtures and gated paths).
+//  * includes     — IWYU-lite: a file that names a project type includes
+//    that type's header directly instead of leaning on transitive pulls.
+//
+// The analyzer is deliberately token/line-level (no libclang): it
+// preprocesses comments and string literals away, then matches tokens, so
+// it is fast, dependency-free, and deterministic. False positives are
+// suppressed in place with `// dm-lint: allow(<rule>[, <rule>...])` on the
+// offending line or the line directly above it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dm::lint {
+
+// One finding. `file` is root-relative with '/' separators; diagnostics
+// are sorted by (file, line, rule) and deduplicated, so output is stable
+// across runs and platforms.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Diagnostic& a, const Diagnostic& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+  }
+};
+
+struct Options {
+  // Directory that reported paths are made relative to.
+  std::string root = ".";
+  // Paths (relative to root, or absolute) to scan; directories recurse
+  // over *.h / *.cc. Empty = the project default set
+  // {src, bench, tests, tools, examples}.
+  std::vector<std::string> paths;
+  // Path substrings to skip (matched against the root-relative path).
+  // Defaults to the fixture tree and build directories; see run().
+  std::vector<std::string> skip;
+  bool use_default_skips = true;
+};
+
+// Rule identifiers (also the spelling used in allow() comments).
+inline constexpr const char* kRuleRand = "det-rand";
+inline constexpr const char* kRuleWallclock = "det-wallclock";
+inline constexpr const char* kRuleGetenv = "det-getenv";
+inline constexpr const char* kRulePtrHash = "det-ptr-hash";
+inline constexpr const char* kRuleUnorderedIter = "det-unordered-iter";
+inline constexpr const char* kRuleLayerDep = "layer-dep";
+inline constexpr const char* kRuleLayerTestInclude = "layer-test-include";
+inline constexpr const char* kRuleStatusDiscard = "status-discard";
+inline constexpr const char* kRuleIncludeDirect = "include-direct";
+
+// Runs every rule over the configured tree and returns the sorted,
+// deduplicated findings.
+std::vector<Diagnostic> run(const Options& options);
+
+// "file:line: [rule] message" lines, one per diagnostic.
+std::string to_text(const std::vector<Diagnostic>& diags);
+
+// Machine-readable export matching the bench_util.h JSON conventions
+// (RFC 8259 escaping, sorted entries, trailing newline).
+std::string to_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace dm::lint

@@ -19,7 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/rng.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
+#include "core/node_service.h"
 
 namespace {
 
