@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: a lint stage (dm_lint + -Werror build), plain build +
-# tests, an ASan/UBSan build + tests, then a gcov-instrumented build gating
+# tests, an ASan/UBSan build + tests, an observability-artifact stage
+# (flight dumps, span traces, profiler + micro-substrate JSON, with
+# parse + determinism gates), then a gcov-instrumented build gating
 # line coverage of the swap + compression layers.
 #
-# Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--coverage-only]
+# Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--obs-only|
+#                 --coverage-only]
 #
 # The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
 # -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
@@ -43,6 +46,63 @@ run_lint() {
   "./$build_dir/tools/dm_lint" --root .
   echo "==> dm_lint: fixture suite"
   ctest --test-dir "$build_dir" --output-on-failure -R 'Lint' -j "$jobs"
+}
+
+run_obs() {
+  local build_dir=build
+  local art="$build_dir/artifacts"
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j "$jobs" \
+    --target dm_top bench_micro_substrate bench_profile_substrate
+
+  rm -rf "$art"
+  mkdir -p "$art/run_a" "$art/run_b"
+
+  # Two same-seed chaos runs of dm_top with the full observability surface
+  # attached: span tracer (Chrome trace), per-node flight recorders (dumped
+  # by the injected crash), and one SLO. Everything the runs emit is in
+  # virtual time, so the two directories must be byte-identical.
+  echo "==> obs: dm_top chaos soak x2 (trace + flight dumps + SLO)"
+  local run
+  for run in run_a run_b; do
+    (cd "$art/$run" &&
+     ../../tools/dm_top --nodes 4 --ops 400 --seed 7 --chaos \
+       --trace-out trace.json --flight-dir . \
+       --slo "get_p99: p99 ldms.get_ns < 2ms over 200ms" > dm_top.out)
+    (cd "$art/$run" && ../../bench/bench_profile_substrate > profile.out)
+  done
+
+  echo "==> obs: chaos soak produced flight dumps"
+  compgen -G "$art/run_a/flight_*.json" > /dev/null || {
+    echo "==> OBS GATE FAILED: no flight_<node>.json from the chaos soak"
+    exit 1
+  }
+
+  echo "==> obs: same-seed artifact determinism"
+  diff -r "$art/run_a" "$art/run_b" || {
+    echo "==> OBS GATE FAILED: same-seed runs differ"
+    exit 1
+  }
+
+  # The micro-substrate bench measures host-CPU throughput of the simulation
+  # substrate itself (wall-clock, inherently run-to-run noisy), so its JSON
+  # is archived and parse-checked but exempt from the byte-identical gate.
+  echo "==> obs: micro-substrate benchmark JSON"
+  ./"$build_dir"/bench/bench_micro_substrate --benchmark_min_time=0.01 \
+    --benchmark_out="$art/BENCH_micro_substrate.json" \
+    --benchmark_out_format=json > /dev/null
+
+  echo "==> obs: every emitted JSON artifact parses"
+  python3 - "$art" <<'EOF'
+import glob, json, sys
+paths = sorted(glob.glob(sys.argv[1] + "/**/*.json", recursive=True))
+if not paths:
+    sys.exit("no JSON artifacts found")
+for path in paths:
+    with open(path) as f:
+        json.load(f)
+    print(f"    parsed {path}")
+EOF
 }
 
 run_coverage() {
@@ -111,6 +171,11 @@ fi
 if [[ "$mode" == "all" || "$mode" == "--sanitize-only" ]]; then
   echo "==> sanitized build + tests (ASan + UBSan)"
   run_suite build-asan -DDM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--obs-only" ]]; then
+  echo "==> observability artifacts (flight/trace/profile/micro JSON)"
+  run_obs
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--coverage-only" ]]; then

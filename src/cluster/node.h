@@ -90,11 +90,11 @@ class Node {
 
   bool up() const { return fabric_.node_up(id_); }
 
-  // Allocates a fresh causal trace id rooted at this node. Deterministic:
-  // a per-node monotonic sequence, no wall clock involved.
-  net::TraceId next_trace_id() noexcept {
-    return net::make_trace_id(id_, ++trace_seq_);
-  }
+  // Allocates a fresh causal trace id rooted at this node. Deterministic: a
+  // per-node monotonic sequence, no wall clock involved. Delegates to the
+  // RPC endpoint's counter — the other allocator on this node — so the two
+  // can never hand out the same id (span trees are keyed by trace id).
+  net::TraceId next_trace_id() noexcept { return rpc_.new_trace(); }
 
  private:
   sim::Simulator& sim_;
@@ -115,7 +115,6 @@ class Node {
   GroupId group_ = 0;
   std::unique_ptr<LeaderElection> election_;
   bool election_listener_registered_ = false;
-  std::uint32_t trace_seq_ = 0;
 };
 
 }  // namespace dm::cluster

@@ -45,10 +45,42 @@ std::uint64_t Histogram::percentile(double q) const noexcept {
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] >= target) {
+      // Interpolate within the bucket assuming samples spread evenly over
+      // [lo, hi) instead of snapping every quantile to the bucket's upper
+      // bound; clamping to the observed [min, max] keeps single-sample and
+      // boundary quantiles exact.
+      const std::uint64_t lo = i == 0 ? 0 : bucket_upper_bound(i - 1);
+      const std::uint64_t hi = bucket_upper_bound(i);
+      const double fraction = static_cast<double>(target - seen) /
+                              static_cast<double>(buckets_[i]);
+      const auto interpolated =
+          lo + static_cast<std::uint64_t>(
+                   fraction * static_cast<double>(hi - lo) + 0.5);
+      return std::clamp(interpolated, min_, max_);
+    }
     seen += buckets_[i];
-    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
   }
   return max_;
+}
+
+Histogram Histogram::delta_since(const Histogram& past) const noexcept {
+  Histogram delta;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t before = past.buckets_[i];
+    const std::uint64_t d = buckets_[i] > before ? buckets_[i] - before : 0;
+    if (d == 0) continue;
+    delta.buckets_[i] = d;
+    delta.count_ += d;
+    // The window's true min/max are gone; approximate them by the occupied
+    // bucket range so percentile clamping stays sound for windowed queries.
+    const std::uint64_t lo = i == 0 ? 0 : bucket_upper_bound(i - 1);
+    delta.min_ = std::min(delta.min_, lo);
+    delta.max_ = std::max(delta.max_, bucket_upper_bound(i));
+  }
+  delta.sum_ = sum_ > past.sum_ ? sum_ - past.sum_ : 0;
+  return delta;
 }
 
 void Histogram::merge(const Histogram& other) noexcept {

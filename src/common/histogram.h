@@ -26,13 +26,19 @@ class Histogram {
   }
   std::uint64_t sum() const noexcept { return sum_; }
 
-  // quantile in [0,1]; returns an upper bound of the bucket containing it.
+  // quantile in [0,1]; interpolates within the containing bucket and clamps
+  // to the observed [min, max].
   std::uint64_t percentile(double q) const noexcept;
   std::uint64_t p50() const noexcept { return percentile(0.50); }
   std::uint64_t p99() const noexcept { return percentile(0.99); }
 
   void merge(const Histogram& other) noexcept;
   void reset() noexcept;
+
+  // Samples recorded since `past` (an earlier copy of this histogram), as a
+  // standalone histogram: bucket-wise subtraction. The window's min/max are
+  // approximated by its occupied bucket range. Used for SLO windows.
+  Histogram delta_since(const Histogram& past) const noexcept;
 
   // One-line summary: "n=1000 mean=1.2us p50=1.1us p99=3.0us max=5.5us"
   std::string summary_duration() const;

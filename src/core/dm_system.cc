@@ -6,6 +6,7 @@
 #include "core/repair_service.h"
 #include "net/connection_manager.h"
 #include "net/fabric.h"
+#include "sim/span_sink.h"
 #include "sim/trace.h"
 
 namespace dm::core {
@@ -62,6 +63,12 @@ DmSystem::DmSystem(Config config)
 void DmSystem::set_tracer(sim::Tracer* tracer) {
   fabric_->set_tracer(tracer);
   for (auto& node : nodes_) node->rpc().set_tracer(tracer);
+}
+
+void DmSystem::set_span_sink(sim::SpanSink* spans) {
+  fabric_->set_span_sink(spans);
+  for (auto& node : nodes_) node->rpc().set_span_sink(spans);
+  for (auto& service : services_) service->set_span_sink(spans);
 }
 
 DmSystem::~DmSystem() = default;

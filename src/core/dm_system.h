@@ -37,6 +37,7 @@
 #include "obs/metrics_hub.h"
 #include "sim/failure_injector.h"
 #include "sim/simulator.h"
+#include "sim/span_sink.h"
 #include "sim/trace.h"
 
 namespace dm::core {
@@ -92,6 +93,13 @@ class DmSystem {
   // Attaches an event tracer to the fabric and every node's RPC endpoint,
   // so causal trace ids are followable across nodes (null detaches).
   void set_tracer(sim::Tracer* tracer);
+
+  // Attaches a causal span sink (normally an obs::SpanTracer) to the
+  // fabric, every node's RPC endpoint, and every node service, so a traced
+  // operation's journey — caller RPC, fabric verbs, remote dispatch, device
+  // I/O — lands in one span tree per trace id (null detaches). Swap
+  // managers attach themselves via SwapManager::set_span_sink.
+  void set_span_sink(sim::SpanSink* spans);
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
   cluster::Node& node(std::size_t index) { return *nodes_.at(index); }

@@ -141,44 +141,54 @@ Status Ldmc::drain_until(const std::function<bool()>& done) {
   return Status::Ok();
 }
 
-Status Ldmc::put_sync(mem::EntryId entry, std::span<const std::byte> data) {
+Status Ldmc::put_sync(mem::EntryId entry, std::span<const std::byte> data,
+                      net::TraceId trace) {
   bool completed = false;
   Status result;
-  put(entry, data, [&](const Status& s) {
-    result = s;
-    completed = true;
-  });
+  put(entry, data,
+      [&](const Status& s) {
+        result = s;
+        completed = true;
+      },
+      trace);
   return wait(completed, result);
 }
 
-Status Ldmc::get_sync(mem::EntryId entry, std::span<std::byte> out) {
+Status Ldmc::get_sync(mem::EntryId entry, std::span<std::byte> out,
+                      net::TraceId trace) {
   bool completed = false;
   Status result;
-  get(entry, out, [&](const Status& s) {
-    result = s;
-    completed = true;
-  });
+  get(entry, out,
+      [&](const Status& s) {
+        result = s;
+        completed = true;
+      },
+      trace);
   return wait(completed, result);
 }
 
 Status Ldmc::get_range_sync(mem::EntryId entry, std::uint64_t offset,
-                            std::span<std::byte> out) {
+                            std::span<std::byte> out, net::TraceId trace) {
   bool completed = false;
   Status result;
-  get_range(entry, offset, out, [&](const Status& s) {
-    result = s;
-    completed = true;
-  });
+  get_range(entry, offset, out,
+            [&](const Status& s) {
+              result = s;
+              completed = true;
+            },
+            trace);
   return wait(completed, result);
 }
 
-Status Ldmc::remove_sync(mem::EntryId entry) {
+Status Ldmc::remove_sync(mem::EntryId entry, net::TraceId trace) {
   bool completed = false;
   Status result;
-  remove(entry, [&](const Status& s) {
-    result = s;
-    completed = true;
-  });
+  remove(entry,
+         [&](const Status& s) {
+           result = s;
+           completed = true;
+         },
+         trace);
   return wait(completed, result);
 }
 

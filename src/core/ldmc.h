@@ -55,11 +55,17 @@ class Ldmc {
               net::TraceId trace = net::kNoTrace);
 
   // --- synchronous wrappers (drive the simulator until completion) ------------
-  [[nodiscard]] Status put_sync(mem::EntryId entry, std::span<const std::byte> data);
-  [[nodiscard]] Status get_sync(mem::EntryId entry, std::span<std::byte> out);
+  // `trace` threads the caller's chain exactly as in the async API, so
+  // blocking-style callers (the swap fault path, tools) keep causal spans.
+  [[nodiscard]] Status put_sync(mem::EntryId entry, std::span<const std::byte> data,
+                                net::TraceId trace = net::kNoTrace);
+  [[nodiscard]] Status get_sync(mem::EntryId entry, std::span<std::byte> out,
+                                net::TraceId trace = net::kNoTrace);
   [[nodiscard]] Status get_range_sync(mem::EntryId entry, std::uint64_t offset,
-                        std::span<std::byte> out);
-  [[nodiscard]] Status remove_sync(mem::EntryId entry);
+                        std::span<std::byte> out,
+                        net::TraceId trace = net::kNoTrace);
+  [[nodiscard]] Status remove_sync(mem::EntryId entry,
+                                   net::TraceId trace = net::kNoTrace);
 
   // Drives the simulator until `done()` holds. Unlike run_until_flag this
   // takes an arbitrary predicate, so callers with several operations in

@@ -152,7 +152,7 @@ void NodeService::put_entry(cluster::ServerId server, mem::EntryId entry,
   if (allow_remote) {
     put_remote(server, entry, data, allow_disk, std::move(done), trace);
   } else if (allow_disk) {
-    put_device(server, entry, data, std::move(done));
+    put_device(server, entry, data, std::move(done), trace);
   } else {
     done(ResourceExhaustedError("no tier available for entry"));
   }
@@ -168,7 +168,7 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
   auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
                                                           data.end());
   rdmc_.put(server, entry, *payload,
-            [this, server, entry, size, allow_disk, payload,
+            [this, server, entry, size, allow_disk, payload, trace,
              done = std::move(done)](
                 StatusOr<std::vector<mem::RemoteReplica>> replicas) mutable {
               if (replicas.ok()) {
@@ -202,7 +202,8 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                                ++metrics_.counter("ldms.degraded_to_disk");
                              }
                              done(std::move(result));
-                           });
+                           },
+                           trace);
                 return;
               }
               done(replicas.status());
@@ -211,25 +212,36 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
 }
 
 void NodeService::put_device(cluster::ServerId server, mem::EntryId entry,
-                             std::span<const std::byte> data,
-                             PutCallback done) {
+                             std::span<const std::byte> data, PutCallback done,
+                             net::TraceId trace) {
   // §VI convergence: a local NVM tier, when present, sits between remote
   // memory and the rotational swap device.
   if (node_.nvm() != nullptr) {
-    put_nvm(server, entry, data, std::move(done));
+    put_nvm(server, entry, data, std::move(done), trace);
     return;
   }
-  put_disk(server, entry, data, std::move(done));
+  put_disk(server, entry, data, std::move(done), trace);
 }
 
 void NodeService::put_nvm(cluster::ServerId server, mem::EntryId entry,
-                          std::span<const std::byte> data, PutCallback done) {
+                          std::span<const std::byte> data, PutCallback done,
+                          net::TraceId trace) {
   auto offset = alloc_nvm(static_cast<std::uint32_t>(data.size()));
   if (!offset.ok()) {
     // NVM full: fall through to the disk below it.
     ++metrics_.counter("ldms.nvm_overflow_to_disk");
-    put_disk(server, entry, data, std::move(done));
+    put_disk(server, entry, data, std::move(done), trace);
     return;
+  }
+  if (spans_ != nullptr && trace != net::kNoTrace) {
+    // dm-lint: allow(span-unclosed) — closed by the wrapped completion.
+    const std::uint64_t span =
+        spans_->begin_span(trace, node_.id(), "disk", "nvm.write");
+    done = [spans = spans_, span, inner = std::move(done)](
+               StatusOr<mem::EntryLocation> result) {
+      spans->end_span(span);
+      inner(std::move(result));
+    };
   }
   const auto size = static_cast<std::uint32_t>(data.size());
   const std::uint64_t at = *offset;
@@ -255,13 +267,24 @@ void NodeService::put_nvm(cluster::ServerId server, mem::EntryId entry,
 }
 
 void NodeService::put_disk(cluster::ServerId server, mem::EntryId entry,
-                           std::span<const std::byte> data, PutCallback done) {
+                           std::span<const std::byte> data, PutCallback done,
+                           net::TraceId trace) {
   (void)server;
   (void)entry;
   auto offset = alloc_disk(static_cast<std::uint32_t>(data.size()));
   if (!offset.ok()) {
     done(offset.status());
     return;
+  }
+  if (spans_ != nullptr && trace != net::kNoTrace) {
+    // dm-lint: allow(span-unclosed) — closed by the wrapped completion.
+    const std::uint64_t span =
+        spans_->begin_span(trace, node_.id(), "disk", "disk.write");
+    done = [spans = spans_, span, inner = std::move(done)](
+               StatusOr<mem::EntryLocation> result) {
+      spans->end_span(span);
+      inner(std::move(result));
+    };
   }
   const auto size = static_cast<std::uint32_t>(data.size());
   const std::uint64_t at = *offset;
@@ -389,6 +412,17 @@ void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
       if (device == nullptr) {
         done(FailedPreconditionError("entry on absent NVM tier"));
         return;
+      }
+      if (spans_ != nullptr && trace != net::kNoTrace) {
+        // dm-lint: allow(span-unclosed) — closed by the wrapped completion.
+        const std::uint64_t span = spans_->begin_span(
+            trace, node_.id(), "disk",
+            location.tier == mem::Tier::kNvm ? "nvm.read" : "disk.read");
+        done = [spans = spans_, span,
+                inner = std::move(done)](const Status& s) {
+          spans->end_span(span);
+          inner(s);
+        };
       }
       auto done_ptr = std::make_shared<DoneCallback>(std::move(done));
       Status posted = device->read(

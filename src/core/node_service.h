@@ -32,6 +32,7 @@
 #include "core/rdms.h"
 #include "mem/memory_map.h"
 #include "net/wire.h"
+#include "sim/span_sink.h"
 
 namespace dm::core {
 
@@ -91,6 +92,11 @@ class NodeService {
   Rdmc& rdmc() noexcept { return rdmc_; }
   Rdms& rdms() noexcept { return rdms_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  // Causal span sink (not owned; null detaches). Traced device-tier I/O
+  // gets "disk"/"disk.read|write" and "disk"/"nvm.read|write" spans from
+  // post to completion, the disk/NVM components of a fault's critical path.
+  void set_span_sink(sim::SpanSink* spans) noexcept { spans_ = spans; }
 
   // --- client registry -------------------------------------------------------
   Ldmc& create_client(cluster::ServerId server, LdmcOptions options = {});
@@ -160,11 +166,14 @@ class NodeService {
                   PutCallback done, net::TraceId trace = net::kNoTrace);
   // Device tiers: NVM when present (and then disk on failure), else disk.
   void put_device(cluster::ServerId server, mem::EntryId entry,
-                  std::span<const std::byte> data, PutCallback done);
+                  std::span<const std::byte> data, PutCallback done,
+                  net::TraceId trace = net::kNoTrace);
   void put_disk(cluster::ServerId server, mem::EntryId entry,
-                std::span<const std::byte> data, PutCallback done);
+                std::span<const std::byte> data, PutCallback done,
+                net::TraceId trace = net::kNoTrace);
   void put_nvm(cluster::ServerId server, mem::EntryId entry,
-               std::span<const std::byte> data, PutCallback done);
+               std::span<const std::byte> data, PutCallback done,
+               net::TraceId trace = net::kNoTrace);
   // Frees one LRU shared-pool entry by pushing it to remote memory; the
   // callback reports whether space was reclaimed.
   void spill_one(std::function<void(bool)> done);
@@ -191,6 +200,7 @@ class NodeService {
   Rdms rdms_;
   Rdmc rdmc_;
   MetricsRegistry metrics_;
+  sim::SpanSink* spans_ = nullptr;
   // Ordered: repair and eviction scans iterate these and issue RPCs, so
   // the walk order must not depend on hash-bucket layout.
   std::map<cluster::ServerId, std::unique_ptr<Ldmc>> clients_;

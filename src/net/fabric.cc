@@ -202,6 +202,17 @@ Status QueuePair::post_write(RKey rkey, std::uint64_t offset,
                              std::span<const std::byte> data,
                              CompletionCallback done, TraceId trace) {
   if (error_) return FailedPreconditionError("QP in error state");
+  if (fabric_.spans_ != nullptr && trace != kNoTrace) {
+    // Span closes when the completion fires, on success and failure alike —
+    // wrap `done` so every settle path ends it. dm-lint: allow(span-unclosed)
+    const std::uint64_t span =
+        fabric_.spans_->begin_span(trace, local_, "net", "fabric.write");
+    done = [spans = fabric_.spans_, span,
+            inner = std::move(done)](const Completion& c) {
+      spans->end_span(span);
+      if (inner) inner(c);
+    };
+  }
   const SimTime posted_at = fabric_.sim_.now();
   auto arrival = fabric_.model_transfer(local_, remote_, data.size(),
                                         fabric_.config().latency.rdma);
@@ -255,6 +266,16 @@ Status QueuePair::post_read(RKey rkey, std::uint64_t offset,
                             std::span<std::byte> dest, CompletionCallback done,
                             TraceId trace) {
   if (error_) return FailedPreconditionError("QP in error state");
+  if (fabric_.spans_ != nullptr && trace != kNoTrace) {
+    // dm-lint: allow(span-unclosed) — closed by the wrapped completion.
+    const std::uint64_t span =
+        fabric_.spans_->begin_span(trace, local_, "net", "fabric.read");
+    done = [spans = fabric_.spans_, span,
+            inner = std::move(done)](const Completion& c) {
+      spans->end_span(span);
+      if (inner) inner(c);
+    };
+  }
   const SimTime posted_at = fabric_.sim_.now();
   // Request hop (tiny control message), then data hop back.
   auto request_arrival =

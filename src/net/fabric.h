@@ -26,6 +26,7 @@
 #include "net/rdma.h"
 #include "sim/latency_model.h"
 #include "sim/simulator.h"
+#include "sim/span_sink.h"
 #include "sim/trace.h"
 
 namespace dm::net {
@@ -108,6 +109,12 @@ class Fabric {
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
   sim::Tracer* tracer() const noexcept { return tracer_; }
 
+  // Causal span sink (not owned; null detaches): one-sided verbs carrying a
+  // real trace id get "net"/"fabric.write|read" spans from post to
+  // completion.
+  void set_span_sink(sim::SpanSink* spans) noexcept { spans_ = spans; }
+  sim::SpanSink* span_sink() const noexcept { return spans_; }
+
   // --- chaos knobs ---------------------------------------------------------
   // Scales every transfer's NIC/wire time (latency-spike scenarios; 1.0 =
   // nominal). Applies from the next posted operation.
@@ -183,6 +190,7 @@ class Fabric {
   Config config_;
   MetricsRegistry metrics_;
   sim::Tracer* tracer_ = nullptr;
+  sim::SpanSink* spans_ = nullptr;
   double latency_scale_ = 1.0;
   double loss_probability_ = 0.0;
   Rng loss_rng_;

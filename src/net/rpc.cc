@@ -4,6 +4,7 @@
 #include "common/units.h"
 #include "net/retry_policy.h"
 #include "net/wire.h"
+#include "sim/span_sink.h"
 
 namespace dm::net {
 namespace {
@@ -33,7 +34,7 @@ std::string RpcEndpoint::method_label(RpcMethod method) const {
 void RpcEndpoint::call(NodeId peer, RpcMethod method,
                        std::vector<std::byte> payload, SimTime timeout,
                        RpcResponseCallback done, TraceId trace) {
-  if (trace == kNoTrace) trace = make_trace_id(self_, ++next_trace_);
+  if (trace == kNoTrace) trace = new_trace();
   if (!retry_.enabled()) {
     call_once(peer, method, std::move(payload), timeout, std::move(done),
               trace);
@@ -115,6 +116,13 @@ void RpcEndpoint::call_once(NodeId peer, RpcMethod method,
   pending->method = method;
   pending->trace = trace;
   pending_.emplace(call_id, pending);
+  if (spans_ != nullptr) {
+    // Caller-side span: open here, closed by settle() when the reply, error
+    // or timeout lands — the Pending record owns the handle across the async
+    // gap. dm-lint: allow(span-unclosed)
+    pending->span = spans_->begin_span(trace, self_, "net",
+                                       "rpc." + method_label(method));
+  }
   ++metrics_.counter("rpc.calls");
   trace_event("rpc.call", "node" + std::to_string(self_) + " -> node" +
                               std::to_string(peer) + " " +
@@ -172,9 +180,12 @@ void RpcEndpoint::on_message(NodeId from, std::span<const std::byte> message) {
       WireReader req(payload);
       // Expose the request's trace id to the handler so downstream calls
       // stay on the same causal chain.
+      sim::SpanScope dispatch_span(spans_, trace, self_, "remote",
+                                   "rpc." + method_label(method));
       current_trace_ = trace;
       auto result = handler->second(from, req);
       current_trace_ = kNoTrace;
+      dispatch_span.close();
       if (result.ok()) {
         w.put_u8(static_cast<std::uint8_t>(Kind::kReplyOk));
         w.put_u64(call_id);
@@ -216,6 +227,7 @@ void RpcEndpoint::settle(std::uint64_t call_id,
   // failure detection time is part of the paper's recovery story.
   metrics_.histogram("rpc.rtt." + method_label(pending->method))
       .record(static_cast<std::uint64_t>(sim_.now() - pending->started));
+  if (spans_ != nullptr && pending->span != 0) spans_->end_span(pending->span);
   if (!result.ok()) {
     ++metrics_.counter(result.status().code() == StatusCode::kTimeout
                            ? "rpc.timeouts"

@@ -29,6 +29,7 @@
 #include "net/retry_policy.h"
 #include "net/wire.h"
 #include "sim/simulator.h"
+#include "sim/span_sink.h"
 #include "sim/trace.h"
 
 namespace dm::net {
@@ -57,6 +58,17 @@ class RpcEndpoint {
   // Attaches an event tracer (not owned; null detaches). Records
   // "rpc.call" / "rpc.dispatch" / "rpc.reply" events carrying trace ids.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  // Attaches a causal span sink (not owned; null detaches). Each traced
+  // call opens a caller-side "net"/"rpc.<label>" span spanning send to
+  // settle, and each dispatch a callee-side "remote"/"rpc.<label>" span
+  // around the handler.
+  void set_span_sink(sim::SpanSink* spans) noexcept { spans_ = spans; }
+
+  // Allocates a fresh trace id from this endpoint's sequence — the same
+  // counter call() draws from, so external roots (swap faults, tool
+  // workloads) never collide with RPC-allocated ids.
+  TraceId new_trace() { return make_trace_id(self_, ++next_trace_); }
 
   // Registers a human-readable label for a method id, used in tracer
   // events and the "rpc.rtt.<label>" histogram names.
@@ -114,6 +126,7 @@ class RpcEndpoint {
     SimTime started = 0;
     RpcMethod method = 0;
     TraceId trace = kNoTrace;
+    std::uint64_t span = 0;  // caller-side span handle
     bool settled = false;
   };
 
@@ -132,6 +145,7 @@ class RpcEndpoint {
   NodeId self_;
   MetricsRegistry metrics_;
   sim::Tracer* tracer_ = nullptr;
+  sim::SpanSink* spans_ = nullptr;
   RetryPolicy retry_;
   std::unordered_map<RpcMethod, RpcHandler> handlers_;
   std::unordered_map<RpcMethod, std::string> labels_;

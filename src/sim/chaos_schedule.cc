@@ -1,5 +1,7 @@
 #include "sim/chaos_schedule.h"
 
+#include <string>
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "sim/failure_injector.h"
@@ -15,6 +17,10 @@ void ChaosSchedule::fire_crash(NodeRef node, SimTime outage, bool guarded) {
     return;
   }
   ++crashes_fired_;
+  // The crash is definitely happening: let the injector's fault listener
+  // (the flight recorder) capture state before the node goes down and
+  // repair traffic overwrites the recent-event rings.
+  injector_.notify_fault("chaos.crash." + std::to_string(node));
   hooks_.crash_node(node);
   injector_.at(injector_.simulator().now() + outage,
                [this, node]() { hooks_.recover_node(node); });

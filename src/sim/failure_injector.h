@@ -8,6 +8,8 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/rng.h"
@@ -18,19 +20,34 @@ namespace dm::sim {
 
 class FailureInjector {
  public:
+  // Observer invoked right before each injected fault action fires, with
+  // the label the scheduling site supplied. The flight recorder hangs off
+  // this: a crash dump should capture the ring as it was at the instant of
+  // the fault, before repair traffic overwrites it.
+  using FaultListener = std::function<void(std::string_view label)>;
+
   explicit FailureInjector(Simulator& simulator) : sim_(simulator) {}
 
   Simulator& simulator() noexcept { return sim_; }
 
-  // One-shot fault at an absolute time.
-  void at(SimTime when, std::function<void()> action) {
-    sim_.schedule_at(when, std::move(action));
+  // Registers the fault observer (null detaches). One listener: the last
+  // registration wins, which keeps firing order trivially deterministic.
+  void set_fault_listener(FaultListener listener) {
+    listener_ = std::make_shared<FaultListener>(std::move(listener));
   }
 
-  // Fault at `when`, repair at `when + outage`.
+  // One-shot fault at an absolute time. `label` names the fault for the
+  // listener ("" = unlabeled; the listener still fires).
+  void at(SimTime when, std::function<void()> action,
+          std::string label = {}) {
+    sim_.schedule_at(when, wrap(std::move(action), std::move(label)));
+  }
+
+  // Fault at `when`, repair at `when + outage`. Only the fault leg notifies
+  // the listener; the repair is not a fault.
   void outage(SimTime when, SimTime duration, std::function<void()> fail,
-              std::function<void()> repair) {
-    sim_.schedule_at(when, std::move(fail));
+              std::function<void()> repair, std::string label = {}) {
+    sim_.schedule_at(when, wrap(std::move(fail), std::move(label)));
     sim_.schedule_at(when + duration, std::move(repair));
   }
 
@@ -40,20 +57,44 @@ class FailureInjector {
   // lambdas carrying crash counters, toggles) see one accumulating state
   // instead of a per-event copy of the initial state.
   void poisson(Rng& rng, SimTime start, SimTime stop, SimTime mean_interval,
-               std::function<void()> action) {
+               std::function<void()> action, std::string label = {}) {
     auto shared =
         std::make_shared<std::function<void()>>(std::move(action));
+    auto shared_label = std::make_shared<std::string>(std::move(label));
     SimTime t = start + static_cast<SimTime>(
                             rng.exponential(static_cast<double>(mean_interval)));
     while (t < stop) {
-      sim_.schedule_at(t, [shared]() { (*shared)(); });
+      sim_.schedule_at(t, [this, shared, shared_label]() {
+        notify_fault(*shared_label);
+        (*shared)();
+      });
       t += static_cast<SimTime>(
           rng.exponential(static_cast<double>(mean_interval)));
     }
   }
 
+  // Fires the fault listener now. Layers that gate faults at fire time
+  // (ChaosSchedule's can_crash guard) call this themselves once the fault
+  // is definitely happening, instead of labeling the scheduled action.
+  void notify_fault(std::string_view label) {
+    // Snapshot the shared_ptr: a listener replaced mid-run keeps firing
+    // correctly for already-scheduled faults.
+    auto listener = listener_;
+    if (listener != nullptr && *listener) (*listener)(label);
+  }
+
  private:
+  std::function<void()> wrap(std::function<void()> action,
+                             std::string label) {
+    return [this, action = std::move(action),
+            label = std::move(label)]() {
+      notify_fault(label);
+      action();
+    };
+  }
+
   Simulator& sim_;
+  std::shared_ptr<FaultListener> listener_;
 };
 
 }  // namespace dm::sim

@@ -7,6 +7,7 @@
 #include "common/units.h"
 #include "compress/page_compressor.h"
 #include "core/ldmc.h"
+#include "sim/span_sink.h"
 #include "swap/pattern_tracker.h"
 
 namespace dm::swap {
@@ -101,6 +102,19 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
   // these histograms is the paper's Fig 9 tier story in one snapshot.
   auto& sim = client_.service().node().simulator();
   const SimTime fault_started = sim.now();
+  // Causal root: a traced fault opens a fresh trace whose root span covers
+  // exactly the histogram interval (closed before the record below, so the
+  // breakdown components sum to the measured fault latency). active_trace_
+  // threads the id through every LDMC call the fault triggers.
+  if (spans_ != nullptr)
+    active_trace_ = client_.service().node().next_trace_id();
+  sim::SpanScope fault_span(spans_, active_trace_,
+                            client_.service().node().id(), "swap",
+                            "swap.fault");
+  struct TraceReset {
+    net::TraceId* slot;
+    ~TraceReset() { *slot = net::kNoTrace; }
+  } trace_reset{&active_trace_};
   const char* path = nullptr;
   if (zswap_ && zswap_->contains(page)) {
     path = "zswap";
@@ -119,6 +133,8 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
     lru_.touch(page);
     ++metrics_.counter("swap.cold_faults");
   }
+  fault_span.close();
+  active_trace_ = net::kNoTrace;
   metrics_.histogram(std::string("swap.fault_ns.") + path)
       .record(static_cast<std::uint64_t>(sim.now() - fault_started));
   if (write) {
@@ -158,7 +174,7 @@ Status SwapManager::invalidate_backing(std::uint64_t page) {
   }
   if (members.empty()) {
     batches_.erase(batch_it);
-    DM_RETURN_IF_ERROR(client_.remove_sync(entry));
+    DM_RETURN_IF_ERROR(client_.remove_sync(entry, active_trace_));
   }
   return Status::Ok();
 }
@@ -268,7 +284,12 @@ Status SwapManager::store_batch(
       metrics_.counter("swap.compressed_bytes") += kPageBytes;
       metrics_.counter("swap.logical_bytes") += kPageBytes;
     } else {
-      charge(config_.compress_ns);
+      {
+        sim::SpanScope compress_span(spans_, active_trace_,
+                                     client_.service().node().id(),
+                                     "compress", "compress.page");
+        charge(config_.compress_ns);
+      }
       auto compressed = compressor_.compress(bytes);
       info.compressed = true;
       info.raw = compressed.is_raw;
@@ -298,7 +319,7 @@ Status SwapManager::store_batch(
     outgoing = *staged;
     ++metrics_.counter("swap.batches_staged");
   }
-  Status stored = client_.put_sync(entry, outgoing);
+  Status stored = client_.put_sync(entry, outgoing, active_trace_);
   if (!stored.ok()) {
     // Roll back: restore the victims as resident from the staged buffer.
     // (For zswap writebacks "resident" is a safe over-approximation: the
@@ -514,7 +535,12 @@ Status SwapManager::materialize(std::uint64_t page,
                                 const Backing& info) {
   std::vector<std::byte> bytes(kPageBytes);
   if (info.compressed && !info.raw) {
-    charge(config_.decompress_ns);
+    {
+      sim::SpanScope decompress_span(spans_, active_trace_,
+                                     client_.service().node().id(),
+                                     "compress", "decompress.page");
+      charge(config_.decompress_ns);
+    }
     compress::CompressedPage cp;
     cp.data.assign(stored.begin(), stored.end());
     cp.is_raw = false;
@@ -598,7 +624,7 @@ Status SwapManager::fault_in(std::uint64_t page) {
     auto size = client_.stored_size(info.batch);
     if (!size.ok()) return size.status();
     std::vector<std::byte> buffer(*size);
-    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer));
+    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer, active_trace_));
 
     std::vector<std::uint64_t> restore;
     for (std::uint64_t member : batch_it->second.pages)
@@ -630,7 +656,7 @@ Status SwapManager::fault_in(std::uint64_t page) {
     auto size = client_.stored_size(info.batch);
     if (!size.ok()) return size.status();
     std::vector<std::byte> buffer(*size);
-    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer));
+    DM_RETURN_IF_ERROR(client_.get_sync(info.batch, buffer, active_trace_));
     DM_RETURN_IF_ERROR(make_room(1));
     DM_RETURN_IF_ERROR(materialize(
         page,
@@ -638,8 +664,8 @@ Status SwapManager::fault_in(std::uint64_t page) {
         info));
   } else {
     std::vector<std::byte> stored(info.length);
-    DM_RETURN_IF_ERROR(
-        client_.get_range_sync(info.batch, info.offset, stored));
+    DM_RETURN_IF_ERROR(client_.get_range_sync(info.batch, info.offset,
+                                              stored, active_trace_));
     DM_RETURN_IF_ERROR(make_room(1));
     DM_RETURN_IF_ERROR(materialize(page, stored, info));
   }

@@ -71,6 +71,7 @@
 #include "common/units.h"
 #include "compress/page_compressor.h"
 #include "core/ldmc.h"
+#include "sim/span_sink.h"
 #include "swap/pattern_tracker.h"
 #include "swap/zswap_cache.h"
 
@@ -159,6 +160,14 @@ class SwapManager {
   std::uint64_t swap_ins() const noexcept { return swap_ins_; }
   std::uint64_t swap_outs() const noexcept { return swap_outs_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  // Causal span sink (not owned; null detaches). When attached, every
+  // backend fault opens a fresh trace rooted in a "swap"/"swap.fault" span
+  // covering exactly the interval the swap.fault_ns histogram records, and
+  // the trace rides the fault's LDMC calls through RPC, fabric and device
+  // I/O. Compression/decompression CPU charges get "compress" child spans
+  // so the critical-path breakdown separates CPU from the wire.
+  void set_span_sink(sim::SpanSink* spans) noexcept { spans_ = spans; }
 
   // --- adaptive-engine observability (model checker + tests) -----------
   bool is_backed(std::uint64_t page) const {
@@ -259,6 +268,11 @@ class SwapManager {
   // Guards the async flush callbacks against a destroyed manager (events
   // may still be queued on the simulator).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  sim::SpanSink* spans_ = nullptr;
+  // The trace of the fault currently being served; threads through every
+  // LDMC call the fault triggers (kNoTrace outside a traced fault).
+  net::TraceId active_trace_ = net::kNoTrace;
 
   std::uint64_t faults_ = 0;
   std::uint64_t swap_ins_ = 0;

@@ -15,7 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +30,8 @@
 #include "core/node_service.h"
 #include "core/repair_service.h"
 #include "mem/memory_map.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "sim/chaos_schedule.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
@@ -418,6 +424,160 @@ TEST(ChaosSwapSoakTest, SameSeedSwapSoakIsByteIdentical) {
   EXPECT_EQ(a.swap_outs, b.swap_outs);
   EXPECT_EQ(a.transient_fault_failures, b.transient_fault_failures);
   EXPECT_EQ(a.metrics_hash, b.metrics_hash);
+}
+
+// --- flight-recorder soak (crash-time forensics) ----------------------------
+//
+// The span tracer and flight recorder ride the KV soak: every closed span
+// lands in a bounded per-node ring, and the first chaos crash dumps
+// flight_<node>.json for every node with records. The acceptance bar is the
+// observability issue's: a crash-time dump exists, the captured span chain
+// crosses at least two nodes (the same trace appears in different nodes'
+// rings), and the dumps are byte-identical across two same-seed runs.
+
+struct FlightSoakResult {
+  std::uint64_t crashes = 0;
+  std::size_t files_at_crash = 0;
+  std::string crash_reason;
+  std::map<std::uint32_t, std::string> crash_dumps;  // node -> dump_json
+};
+
+// Extracts every `"trace": "<origin>:<seq>"` label from one flight dump.
+std::vector<std::string> trace_labels(const std::string& dump) {
+  std::vector<std::string> labels;
+  const std::string key = "\"trace\": \"";
+  for (std::size_t pos = dump.find(key); pos != std::string::npos;
+       pos = dump.find(key, pos + 1)) {
+    const std::size_t start = pos + key.size();
+    const std::size_t end = dump.find('"', start);
+    if (end == std::string::npos) break;
+    labels.push_back(dump.substr(start, end - start));
+  }
+  return labels;
+}
+
+FlightSoakResult run_flight_soak(std::uint64_t seed, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  DmSystem::Config config;
+  config.node_count = 5;
+  config.seed = seed;
+  config.node.shm.arena_bytes = 2 * MiB;
+  config.node.recv.arena_bytes = 16 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.replication = 2;
+  config.service.rdmc.min_replicas = 1;
+  config.rpc_retry.max_attempts = 3;
+  config.rpc_retry.base_backoff = 500 * kMicro;
+  config.rpc_retry.max_backoff = 2 * kMilli;
+  DmSystem system(config);
+  system.start();
+
+  obs::SpanTracer tracer(system.simulator());
+  obs::FlightRecorder flight(system.simulator());
+  tracer.set_flight_recorder(&flight);
+  system.set_span_sink(&tracer);
+
+  LdmcOptions options;
+  options.shm_fraction = 0.1;  // nearly everything crosses the wire
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  FlightSoakResult result;
+  system.failures().set_fault_listener([&](std::string_view label) {
+    if (label.rfind("chaos.crash.", 0) != 0) return;
+    if (!result.crash_dumps.empty()) return;  // keep the first crash only
+    result.crash_reason = std::string(label);
+    result.files_at_crash = flight.dump_all(dir, label);
+    for (std::uint32_t n = 0; n < system.node_count(); ++n)
+      if (flight.record_count(n) > 0)
+        result.crash_dumps[n] = flight.dump_json(n, label);
+  });
+
+  sim::ChaosSchedule::Hooks hooks;
+  hooks.crash_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.crash_node(n);
+  };
+  hooks.recover_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.recover_node(n);
+  };
+  hooks.can_crash = [&](sim::ChaosSchedule::NodeRef) {
+    for (std::size_t i = 1; i < system.node_count(); ++i)
+      if (!system.fabric().node_up(system.node(i).id())) return false;
+    return true;
+  };
+
+  sim::ChaosSchedule chaos(system.failures(), hooks);
+  Rng chaos_rng(seed ^ 0xf117);
+  const SimTime storm_start = system.simulator().now() + 100 * kMilli;
+  chaos.poisson_crash_storm(chaos_rng, storm_start,
+                            storm_start + 1500 * kMilli,
+                            /*mean_interval=*/300 * kMilli,
+                            /*outage=*/100 * kMilli, {1, 2, 3, 4});
+
+  Rng workload_rng(seed ^ 0xf2);
+  std::vector<mem::EntryId> keys;
+  mem::EntryId next_key = 1;
+  const SimTime soak_end = storm_start + 1800 * kMilli;
+  while (system.simulator().now() < soak_end) {
+    const mem::EntryId key = next_key++;
+    if (client.put_sync(key, page_data(key)).ok()) keys.push_back(key);
+    for (int i = 0; i < 2 && !keys.empty(); ++i) {
+      std::vector<std::byte> out(4096);
+      (void)client.get_sync(keys[workload_rng.next_below(keys.size())], out);
+    }
+    system.run_for(10 * kMilli);
+  }
+
+  result.crashes = chaos.crashes_fired();
+  return result;
+}
+
+TEST(ChaosFlightTest, CrashDumpsFlightRecordsSpanningNodes) {
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "chaos_flight").string();
+  const FlightSoakResult r = run_flight_soak(4242, dir);
+  std::printf("flight soak: crashes=%llu files=%zu reason=%s nodes=%zu\n",
+              static_cast<unsigned long long>(r.crashes), r.files_at_crash,
+              r.crash_reason.c_str(), r.crash_dumps.size());
+
+  // A crash fired and dumped at least one flight file at crash time.
+  ASSERT_GE(r.crashes, 1u);
+  ASSERT_GE(r.files_at_crash, 1u);
+  EXPECT_EQ(r.crash_reason.rfind("chaos.crash.", 0), 0u);
+
+  // The files landed on disk with the dm_flight format and the crash reason.
+  ASSERT_FALSE(r.crash_dumps.empty());
+  const std::uint32_t first_node = r.crash_dumps.begin()->first;
+  std::ifstream in(dir + "/flight_" + std::to_string(first_node) + ".json");
+  ASSERT_TRUE(in.good());
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  EXPECT_NE(file_contents.str().find("\"tool\": \"dm_flight\""),
+            std::string::npos);
+  EXPECT_NE(file_contents.str().find(r.crash_reason), std::string::npos);
+
+  // The captured span chain crosses nodes: some trace label shows up in at
+  // least two different nodes' rings (caller span + remote dispatch span).
+  std::map<std::string, std::set<std::uint32_t>> nodes_by_trace;
+  for (const auto& [node, dump] : r.crash_dumps)
+    for (const auto& label : trace_labels(dump))
+      nodes_by_trace[label].insert(node);
+  bool crosses = false;
+  for (const auto& [label, nodes] : nodes_by_trace)
+    if (nodes.size() >= 2) crosses = true;
+  EXPECT_TRUE(crosses) << "no trace spans more than one node's ring";
+}
+
+TEST(ChaosFlightTest, SameSeedCrashDumpsAreByteIdentical) {
+  const std::string base =
+      (std::filesystem::path(testing::TempDir()) / "chaos_flight_det")
+          .string();
+  const FlightSoakResult a = run_flight_soak(909, base + "_a");
+  const FlightSoakResult b = run_flight_soak(909, base + "_b");
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.files_at_crash, b.files_at_crash);
+  EXPECT_EQ(a.crash_reason, b.crash_reason);
+  ASSERT_FALSE(a.crash_dumps.empty());
+  EXPECT_EQ(a.crash_dumps, b.crash_dumps);
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Fixture: raw begin_span member call with no end_span reachable in the
+// enclosing block. Line numbers are asserted by tests/lint_test.cc.
+#include <cstdint>
+
+#include "sim/span_sink.h"
+
+namespace dm::obs {
+
+std::uint64_t leak_a_span(sim::SpanSink* sink) {
+  std::uint64_t span = 0;
+  if (sink != nullptr) {
+    span = sink->begin_span(7, 0, "swap", "fixture");  // line 12: span-unclosed
+  }
+  return span;
+}
+
+}  // namespace dm::obs

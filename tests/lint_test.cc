@@ -45,6 +45,7 @@ const Expected kExpected[] = {
     {"src/core/bad_include.cc", 7, kRuleIncludeDirect},
     {"src/core/bad_status.cc", 10, kRuleStatusDiscard},
     {"src/mem/bad_test_include.cc", 3, kRuleLayerTestInclude},
+    {"src/obs/bad_span.cc", 12, kRuleSpanUnclosed},
     {"src/obs/bad_unordered.cc", 12, kRuleUnorderedIter},
 };
 

@@ -65,6 +65,42 @@ TEST(HistogramPercentiles, BoundaryQuantilesBracketTheData) {
   EXPECT_LE(h.percentile(0.5), h.percentile(1.0));
 }
 
+// Pinned interpolation regressions: exact values for the bucket-boundary
+// fix (interpolate within the bucket, clamp to observed [min, max]). If a
+// histogram parameter changes these must be re-derived, deliberately.
+TEST(HistogramPercentiles, PinnedSingleSampleIsExact) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  EXPECT_EQ(h.p50(), 42u);
+  EXPECT_EQ(h.p99(), 42u);
+  EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(HistogramPercentiles, PinnedUniformThousand) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.p50(), 501u);
+  EXPECT_EQ(h.percentile(0.9), 902u);
+  EXPECT_EQ(h.p99(), 1000u);   // clamped to observed max
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(HistogramPercentiles, PinnedSkewedTailDoesNotDragMedian) {
+  Histogram h;
+  h.record(100);
+  h.record(100);
+  h.record(100);
+  h.record(5000);
+  // Median interpolates inside the 100s bucket (bounds [96, 112)) instead
+  // of snapping to the bucket top or being dragged toward the outlier.
+  EXPECT_EQ(h.p50(), 107u);
+  EXPECT_EQ(h.percentile(0.75), 112u);
+  EXPECT_EQ(h.p99(), 112u);  // 3rd of 4 samples: still in the 100s bucket
+  EXPECT_EQ(h.max(), 5000u);
+}
+
 // ---- MetricsHub aggregation -------------------------------------------------
 
 TEST(MetricsHub, MergesRegistriesUnderPrefixes) {
@@ -109,6 +145,63 @@ TEST(MetricsHub, ExportsContainMergedNames) {
   EXPECT_NE(json.find("\"node.3.swap.fault_ns.backend\""), std::string::npos);
   const std::string prom = hub.prometheus_text();
   EXPECT_NE(prom.find("dm_node_3_swap_faults 4"), std::string::npos);
+}
+
+TEST(MetricsHub, EmptyHubAndEmptyRegistriesExportCleanly) {
+  obs::MetricsHub hub;
+  // No sources at all: exports are well-formed and empty of metrics.
+  EXPECT_EQ(hub.source_count(), 0u);
+  const std::string json = hub.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_TRUE(json.ends_with("\n"));
+  EXPECT_TRUE(hub.prometheus_text().empty());
+
+  // Registered but never-touched registries contribute nothing either.
+  MetricsRegistry empty_a, empty_b;
+  hub.add("node.0", &empty_a);
+  hub.add("node.1", &empty_b);
+  hub.add("node.2", nullptr);  // null registries are ignored, not stored
+  EXPECT_EQ(hub.source_count(), 2u);
+  EXPECT_TRUE(hub.prometheus_text().empty());
+  EXPECT_EQ(hub.merged().counters().size(), 0u);
+}
+
+TEST(MetricsHub, NamesNeedingEscapingStayParseable) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with.quotes") += 1;
+  reg.counter("swap.fault-retries/total") += 2;
+
+  obs::MetricsHub hub;
+  hub.add("node.0", &reg);
+  // JSON: quote and backslash are escaped, the document stays one
+  // key-per-line and parseable.
+  const std::string json = hub.snapshot_json();
+  EXPECT_NE(json.find("weird\\\"name\\\\with.quotes"), std::string::npos);
+  // Prometheus: every non-[a-zA-Z0-9_] character sanitizes to '_'.
+  const std::string prom = hub.prometheus_text();
+  EXPECT_NE(prom.find("dm_node_0_weird_name_with_quotes 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dm_node_0_swap_fault_retries_total 2"),
+            std::string::npos);
+}
+
+TEST(MetricsHub, SameCounterNameUnderDifferentPrefixesStaysSeparate) {
+  MetricsRegistry node_a, node_b;
+  node_a.counter("swap.faults") += 11;
+  node_b.counter("swap.faults") += 31;
+
+  obs::MetricsHub hub;
+  hub.add("node.0", &node_a);
+  hub.add("node.1", &node_b);
+
+  const MetricsRegistry merged = hub.merged();
+  EXPECT_EQ(merged.counter_value("node.0.swap.faults"), 11u);
+  EXPECT_EQ(merged.counter_value("node.1.swap.faults"), 31u);
+  EXPECT_EQ(merged.counter_value("swap.faults"), 0u);  // no unprefixed merge
+
+  const std::string prom = hub.prometheus_text();
+  EXPECT_NE(prom.find("dm_node_0_swap_faults 11"), std::string::npos);
+  EXPECT_NE(prom.find("dm_node_1_swap_faults 31"), std::string::npos);
 }
 
 TEST(MetricsHub, ScrapeRunsInVirtualTime) {

@@ -1,0 +1,227 @@
+// Tests for the declarative SLO engine: spec grammar, window abstention,
+// burn-rate paging, ratio objectives, alert hooks, and determinism of the
+// alert stream across identical seeded runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "obs/metrics_hub.h"
+#include "obs/slo.h"
+#include "sim/simulator.h"
+
+namespace dm {
+namespace {
+
+struct SloRig {
+  sim::Simulator sim;
+  MetricsRegistry registry;
+  obs::MetricsHub hub;
+  obs::SloMonitor monitor{sim, hub};
+
+  SloRig() { hub.add("node.0", &registry); }
+};
+
+// ---- grammar ----------------------------------------------------------------
+
+TEST(SloGrammar, AcceptsTheDocumentedForms) {
+  SloRig rig;
+  EXPECT_TRUE(rig.monitor
+                  .add_spec("fault_p99: p99 swap.fault_ns < 2ms over 500ms")
+                  .ok());
+  EXPECT_TRUE(rig.monitor.add_spec("mean rpc.rtt.get < 40us over 1s").ok());
+  EXPECT_TRUE(
+      rig.monitor
+          .add_spec("degraded: ratio swap.degraded swap.batches < 0.05 over 1s")
+          .ok());
+  EXPECT_TRUE(rig.monitor.add_spec("rate rpc.timeouts < 10 over 2s").ok());
+  EXPECT_EQ(rig.monitor.spec_count(), 4u);
+}
+
+TEST(SloGrammar, RejectsMalformedSpecs) {
+  SloRig rig;
+  const char* bad[] = {
+      "",                                        // empty
+      "p42 swap.fault_ns < 2ms over 500ms",      // unknown aggregate
+      "p99 swap.fault_ns < 2ms",                 // missing window
+      "p99 swap.fault_ns > 2ms over 500ms",      // only '<' supported
+      "p99 swap.fault_ns < cheese over 500ms",   // bad threshold
+      "p99 swap.fault_ns < 2ms over 0ms",        // zero window
+      "p99 swap.fault_ns < 2ms over 500parsecs", // bad unit
+      "ratio a < 0.5 over 1s",                   // ratio needs two counters
+  };
+  for (const char* spec : bad) {
+    const Status status = rig.monitor.add_spec(spec);
+    EXPECT_FALSE(status.ok()) << "accepted: " << spec;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+  }
+  EXPECT_EQ(rig.monitor.spec_count(), 0u);
+}
+
+// ---- window semantics -------------------------------------------------------
+
+TEST(SloWindows, AbstainsUntilAFullWindowExists) {
+  SloRig rig;
+  ASSERT_TRUE(
+      rig.monitor.add_spec("hot: p99 swap.fault_ns < 100 over 300ms").ok());
+  // Record violating samples immediately: still no alert until one snapshot
+  // is at least a full window old.
+  rig.registry.histogram("swap.fault_ns.backend").record(5000);
+  rig.monitor.evaluate_now();  // t=0: snapshot only
+  EXPECT_TRUE(rig.monitor.alerts().empty());
+
+  rig.sim.schedule_after(100 * kMilli, [&] { rig.monitor.evaluate_now(); });
+  rig.sim.run_until(150 * kMilli);
+  EXPECT_TRUE(rig.monitor.alerts().empty());  // window not yet elapsed
+
+  rig.registry.histogram("swap.fault_ns.backend").record(5000);
+  rig.sim.schedule_after(200 * kMilli, [&] { rig.monitor.evaluate_now(); });
+  rig.sim.run_until(400 * kMilli);  // t=350: baseline at t=0 is 350ms old
+  ASSERT_EQ(rig.monitor.alerts().size(), 1u);
+  EXPECT_EQ(rig.monitor.alerts()[0].spec, "hot");
+  EXPECT_GE(rig.monitor.alerts()[0].value, 100.0);
+  EXPECT_EQ(rig.monitor.alerts()[0].streak, 1u);
+  EXPECT_FALSE(rig.monitor.alerts()[0].page);
+}
+
+TEST(SloWindows, QuietMetricBelowThresholdNeverAlerts) {
+  SloRig rig;
+  ASSERT_TRUE(
+      rig.monitor.add_spec("ok: p99 swap.fault_ns < 10000 over 100ms").ok());
+  for (int tick = 1; tick <= 10; ++tick) {
+    rig.registry.histogram("swap.fault_ns.backend").record(500);
+    rig.sim.schedule_at(tick * 50 * kMilli,
+                        [&] { rig.monitor.evaluate_now(); });
+    rig.sim.run_until(tick * 50 * kMilli + 1);
+  }
+  EXPECT_TRUE(rig.monitor.alerts().empty());
+  EXPECT_GT(rig.monitor.metrics().counter_value("slo.evaluations"), 0u);
+  EXPECT_EQ(rig.monitor.metrics().counter_value("slo.violations"), 0u);
+}
+
+// ---- burn-rate paging -------------------------------------------------------
+
+TEST(SloBurn, SustainedViolationEscalatesToPage) {
+  SloRig rig;
+  ASSERT_TRUE(
+      rig.monitor.add_spec("burn: p99 swap.fault_ns < 100 over 100ms").ok());
+  rig.monitor.start();  // default period 100ms, burn threshold 3
+
+  // Keep the histogram hot across every window.
+  struct Feeder {
+    SloRig* rig;
+    void operator()() const {
+      rig->registry.histogram("swap.fault_ns.backend").record(9999);
+      rig->sim.schedule_after(20 * kMilli, *this);
+    }
+  };
+  rig.sim.schedule_after(0, Feeder{&rig});
+  rig.sim.run_until(1000 * kMilli);
+
+  const auto& alerts = rig.monitor.alerts();
+  ASSERT_GE(alerts.size(), 3u);
+  EXPECT_FALSE(alerts[0].page);  // streak 1
+  EXPECT_FALSE(alerts[1].page);  // streak 2
+  EXPECT_TRUE(alerts[2].page);   // streak 3 = burn threshold
+  EXPECT_EQ(alerts[2].streak, 3u);
+  EXPECT_GT(rig.monitor.metrics().counter_value("slo.pages"), 0u);
+  EXPECT_GT(rig.monitor.metrics().counter_value("slo.violations.burn"), 0u);
+  const std::string text = rig.monitor.alerts_text();
+  EXPECT_NE(text.find("burn"), std::string::npos);
+  EXPECT_NE(text.find("PAGE"), std::string::npos);
+  rig.monitor.stop();
+}
+
+TEST(SloBurn, AlertHookFiresOnEveryViolation) {
+  SloRig rig;
+  ASSERT_TRUE(
+      rig.monitor.add_spec("hook: count swap.faults < 5 over 100ms").ok());
+  std::vector<obs::SloMonitor::Alert> seen;
+  rig.monitor.set_alert_hook(
+      [&](const obs::SloMonitor::Alert& alert) { seen.push_back(alert); });
+  rig.monitor.start();
+  struct Feeder {
+    SloRig* rig;
+    void operator()() const {
+      rig->registry.counter("swap.faults") += 3;
+      rig->sim.schedule_after(10 * kMilli, *this);
+    }
+  };
+  rig.sim.schedule_after(0, Feeder{&rig});
+  rig.sim.run_until(500 * kMilli);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.size(), rig.monitor.alerts().size());
+  EXPECT_EQ(seen.front().spec, "hook");
+}
+
+// ---- ratio objectives -------------------------------------------------------
+
+TEST(SloRatio, DegradedBatchRatioAlertsOnlyAboveFraction) {
+  SloRig rig;
+  ASSERT_TRUE(rig.monitor
+                  .add_spec("deg: ratio swap.degraded swap.batches "
+                            "< 0.5 over 100ms")
+                  .ok());
+  rig.monitor.start();
+  // 1 degraded per 4 batches = 0.25 < 0.5: quiet.
+  struct Feeder {
+    SloRig* rig;
+    void operator()() const {
+      rig->registry.counter("swap.batches") += 4;
+      rig->registry.counter("swap.degraded") += 1;
+      rig->sim.schedule_after(20 * kMilli, *this);
+    }
+  };
+  rig.sim.schedule_after(0, Feeder{&rig});
+  rig.sim.run_until(400 * kMilli);
+  EXPECT_TRUE(rig.monitor.alerts().empty());
+
+  // Flip to all-degraded: the windowed ratio crosses 0.5 and alerts.
+  struct BadFeeder {
+    SloRig* rig;
+    void operator()() const {
+      rig->registry.counter("swap.batches") += 4;
+      rig->registry.counter("swap.degraded") += 4;
+      rig->sim.schedule_after(20 * kMilli, *this);
+    }
+  };
+  rig.sim.schedule_after(0, BadFeeder{&rig});
+  rig.sim.run_until(900 * kMilli);
+  ASSERT_FALSE(rig.monitor.alerts().empty());
+  EXPECT_EQ(rig.monitor.alerts().front().spec, "deg");
+  EXPECT_GE(rig.monitor.alerts().front().value, 0.5);
+  rig.monitor.stop();
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(SloDeterminism, AlertStreamIsByteIdenticalAcrossIdenticalRuns) {
+  auto run = [] {
+    SloRig rig;
+    EXPECT_TRUE(
+        rig.monitor.add_spec("d: p99 swap.fault_ns < 100 over 100ms").ok());
+    EXPECT_TRUE(
+        rig.monitor.add_spec("r: rate swap.faults < 1 over 100ms").ok());
+    rig.monitor.start();
+    struct Feeder {
+      SloRig* rig;
+      void operator()() const {
+        rig->registry.histogram("swap.fault_ns.backend").record(7777);
+        rig->registry.counter("swap.faults") += 2;
+        rig->sim.schedule_after(30 * kMilli, *this);
+      }
+    };
+    rig.sim.schedule_after(0, Feeder{&rig});
+    rig.sim.run_until(800 * kMilli);
+    return rig.monitor.alerts_text();
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+}
+
+}  // namespace
+}  // namespace dm

@@ -1,0 +1,284 @@
+// Tests for the causal span substrate: SpanTracer parenting and critical-path
+// breakdown, Chrome trace export determinism, completed-trace eviction, the
+// flight recorder's rings and dump files, and end-to-end span chains through
+// a DmSystem swap fault (the chain must cross the faulting and serving node).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/dm_system.h"
+#include "core/ldmc.h"
+#include "obs/flight_recorder.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
+#include "sim/simulator.h"
+#include "sim/span_sink.h"
+#include "swap/swap_manager.h"
+#include "swap/systems.h"
+#include "workloads/app_catalog.h"
+#include "workloads/driver.h"
+
+namespace dm {
+namespace {
+
+// ---- SpanTracer mechanics ---------------------------------------------------
+
+TEST(SpanTracer, ParentingFollowsNesting) {
+  sim::Simulator sim;
+  obs::SpanTracer tracer(sim);
+  const std::uint64_t trace = 7;
+  const std::uint64_t root = tracer.begin_span(trace, 0, "swap", "swap.fault");
+  const std::uint64_t child = tracer.begin_span(trace, 0, "net", "rpc.get");
+  tracer.end_span(child);
+  tracer.end_span(root);
+
+  const auto* spans = tracer.spans(trace);
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 2u);
+  EXPECT_EQ((*spans)[0].parent, 0u);
+  EXPECT_EQ((*spans)[0].depth, 0u);
+  EXPECT_EQ((*spans)[1].parent, root);
+  EXPECT_EQ((*spans)[1].depth, 1u);
+  EXPECT_EQ(tracer.completed_traces(), std::vector<std::uint64_t>{trace});
+}
+
+TEST(SpanTracer, UntracedSpansAreDropped) {
+  sim::Simulator sim;
+  obs::SpanTracer tracer(sim);
+  EXPECT_EQ(tracer.begin_span(0, 0, "swap", "swap.fault"), 0u);
+  tracer.end_span(0);  // must be a safe no-op
+  EXPECT_EQ(tracer.spans_recorded(), 0u);
+  EXPECT_EQ(tracer.spans_dropped(), 1u);
+  EXPECT_TRUE(tracer.completed_traces().empty());
+}
+
+TEST(SpanTracer, BreakdownAttributesEveryInstantExactlyOnce) {
+  sim::Simulator sim;
+  obs::SpanTracer tracer(sim);
+  const std::uint64_t trace = 9;
+  std::uint64_t root = 0, child = 0;
+  // Root [0, 400); child [100, 300) on another subsystem. Self times:
+  // swap = 400 - 200 = 200, net = 200.
+  sim.schedule_after(0, [&] {
+    // dm-lint: allow(span-unclosed) — closed by a later scheduled event.
+    root = tracer.begin_span(trace, 0, "swap", "swap.fault");
+  });
+  sim.schedule_after(100, [&] {
+    // dm-lint: allow(span-unclosed) — closed by a later scheduled event.
+    child = tracer.begin_span(trace, 0, "net", "rpc.get");
+  });
+  sim.schedule_after(300, [&] { tracer.end_span(child); });
+  sim.schedule_after(400, [&] { tracer.end_span(root); });
+  sim.run_until(kMilli);
+
+  const obs::SpanTracer::Breakdown b = tracer.breakdown(trace);
+  EXPECT_EQ(b.total, 400);
+  EXPECT_EQ(b.by_subsystem.at("swap"), 200);
+  EXPECT_EQ(b.by_subsystem.at("net"), 200);
+  SimTime sum = 0;
+  for (const auto& [subsystem, ns] : b.by_subsystem) sum += ns;
+  EXPECT_EQ(sum, b.total);
+  EXPECT_EQ(b.span_counts.at("swap.swap.fault"), 1u);
+  EXPECT_EQ(b.span_counts.at("net.rpc.get"), 1u);
+}
+
+TEST(SpanTracer, CompletedTraceEvictionIsFifoAndCounted) {
+  sim::Simulator sim;
+  obs::SpanTracer::Config config;
+  config.max_traces = 2;
+  obs::SpanTracer tracer(sim, config);
+  for (std::uint64_t trace = 1; trace <= 3; ++trace) {
+    const std::uint64_t span = tracer.begin_span(trace, 0, "swap", "x");
+    tracer.end_span(span);
+  }
+  EXPECT_EQ(tracer.traces_evicted(), 1u);
+  const auto completed = tracer.completed_traces();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(tracer.spans(1), nullptr);  // oldest trace evicted
+}
+
+TEST(SpanTracer, ChromeTraceJsonIsDeterministic) {
+  auto build = [] {
+    sim::Simulator sim;
+    obs::SpanTracer tracer(sim);
+    std::uint64_t a = 0, b = 0;
+    // dm-lint: allow(span-unclosed) — closed by later scheduled events.
+    sim.schedule_after(10, [&] { a = tracer.begin_span(5, 1, "swap", "swap.fault"); });
+    // dm-lint: allow(span-unclosed) — closed by later scheduled events.
+    sim.schedule_after(20, [&] { b = tracer.begin_span(5, 2, "remote", "rpc.get"); });
+    sim.schedule_after(30, [&] { tracer.end_span(b); });
+    sim.schedule_after(40, [&] { tracer.end_span(a); });
+    sim.run_until(kMilli);
+    return tracer.chrome_trace_json();
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(first.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(first.find("swap.fault"), std::string::npos);
+  EXPECT_NE(first.find("\"pid\": 1"), std::string::npos);  // pid = node id
+  EXPECT_NE(first.find("\"pid\": 2"), std::string::npos);
+}
+
+TEST(SpanTracer, DrainCompletedFeedsProfilerOnce) {
+  sim::Simulator sim;
+  obs::SpanTracer tracer(sim);
+  sim.schedule_after(0, [&] {
+    const std::uint64_t span = tracer.begin_span(3, 0, "swap", "swap.fault");
+    sim.schedule_after(250, [&tracer, span] { tracer.end_span(span); });
+  });
+  sim.run_until(kMilli);
+
+  obs::Profiler profiler(sim);
+  EXPECT_EQ(profiler.ingest_all(tracer), 1u);
+  EXPECT_EQ(profiler.ingest_all(tracer), 0u);  // drained
+  ASSERT_EQ(profiler.roots().count("swap.fault"), 1u);
+  EXPECT_EQ(profiler.roots().at("swap.fault").count, 1u);
+  EXPECT_EQ(profiler.roots().at("swap.fault").total_ns, 250);
+  EXPECT_EQ(profiler.by_subsystem().at("swap"), 250);
+}
+
+// ---- FlightRecorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingIsBoundedPerNode) {
+  sim::Simulator sim;
+  obs::FlightRecorder::Config config;
+  config.capacity_per_node = 4;
+  obs::FlightRecorder recorder(sim, config);
+  for (int i = 0; i < 10; ++i)
+    recorder.record_event(i, 1, 0, "test", "event " + std::to_string(i));
+  EXPECT_EQ(recorder.record_count(0), 4u);
+  EXPECT_EQ(recorder.dropped(0), 6u);
+  // Oldest-first dump keeps only the newest four records.
+  const std::string json = recorder.dump_json(0, "test");
+  EXPECT_EQ(json.find("event 5"), std::string::npos);
+  EXPECT_NE(json.find("event 6"), std::string::npos);
+  EXPECT_NE(json.find("event 9"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"test\""), std::string::npos);
+}
+
+TEST(FlightRecorder, TracerForwardsClosedSpansPerNode) {
+  sim::Simulator sim;
+  obs::SpanTracer tracer(sim);
+  obs::FlightRecorder recorder(sim);
+  tracer.set_flight_recorder(&recorder);
+
+  const std::uint64_t a = tracer.begin_span(11, 0, "swap", "swap.fault");
+  const std::uint64_t b = tracer.begin_span(11, 2, "remote", "rpc.get");
+  tracer.end_span(b);
+  tracer.end_span(a);
+  tracer.event(11, 0, "chaos", "crash scheduled");
+
+  EXPECT_EQ(recorder.node_count(), 2u);
+  EXPECT_EQ(recorder.record_count(0), 2u);  // span + event on node 0
+  EXPECT_EQ(recorder.record_count(2), 1u);
+  EXPECT_NE(recorder.dump_json(0, "x").find("swap.fault"), std::string::npos);
+  EXPECT_NE(recorder.dump_json(2, "x").find("rpc.get"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpAllWritesOneFilePerNode) {
+  sim::Simulator sim;
+  obs::FlightRecorder recorder(sim);
+  recorder.record_event(10, 1, 0, "test", "a");
+  recorder.record_event(20, 1, 3, "test", "b");
+
+  const std::string dir = testing::TempDir() + "flight_dump_test";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  EXPECT_EQ(recorder.dump_all(dir, "unit-test"), 2u);
+  for (const int node : {0, 3}) {
+    std::ifstream in(dir + "/flight_" + std::to_string(node) + ".json");
+    ASSERT_TRUE(in.good()) << "missing flight_" << node << ".json";
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("\"reason\": \"unit-test\""),
+              std::string::npos);
+  }
+}
+
+// ---- end-to-end: spans across a real swap fault -----------------------------
+
+TEST(SpanIntegration, SwapFaultTraceCrossesNodes) {
+  auto setup = swap::make_system(swap::SystemKind::kFastSwap, 8);
+  setup.ldmc.shm_fraction = 0.0;  // place every page remotely: spans must
+                                  // cross the wire for this test to mean much
+  core::DmSystem::Config config;
+  config.node_count = 2;
+  config.node.shm.arena_bytes = 4 * MiB;
+  config.node.recv.arena_bytes = 8 * MiB;
+  config.service = setup.service;
+  config.seed = 99;
+  core::DmSystem system(config);
+
+  obs::SpanTracer tracer(system.simulator());
+  system.set_span_sink(&tracer);
+  system.start();
+
+  auto& client = system.create_server(0, 4 * MiB, setup.ldmc);
+  workloads::AppSpec app = *workloads::find_app("LogisticRegression");
+  swap::SwapManager manager(client, setup.swap,
+                            workloads::content_for(app, 99));
+  manager.set_span_sink(&tracer);
+
+  // Two passes over more pages than fit residently: the second pass faults
+  // pages back in from the remote backend over RPC.
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t p = 0; p < 48; ++p) ASSERT_TRUE(manager.touch(p).ok());
+  system.run_for(100 * kMilli);
+
+  // At least one completed fault trace exists whose span chain includes the
+  // swap root on the faulting node and some remote-side span on the server.
+  bool cross_node_fault = false;
+  for (const std::uint64_t trace : tracer.completed_traces()) {
+    const auto* spans = tracer.spans(trace);
+    if (spans == nullptr || spans->empty()) continue;
+    if ((*spans)[0].name != "swap.fault") continue;
+    bool remote_side = false;
+    for (const auto& span : *spans)
+      if (span.node != (*spans)[0].node) remote_side = true;
+    if (remote_side) cross_node_fault = true;
+  }
+  EXPECT_TRUE(cross_node_fault)
+      << "no fault trace crossed nodes; completed="
+      << tracer.completed_traces().size();
+
+  // The critical-path invariant holds for every completed trace.
+  for (const std::uint64_t trace : tracer.completed_traces()) {
+    const obs::SpanTracer::Breakdown b = tracer.breakdown(trace);
+    SimTime sum = 0;
+    for (const auto& [subsystem, ns] : b.by_subsystem) sum += ns;
+    EXPECT_EQ(sum, b.total) << "trace " << trace;
+  }
+}
+
+TEST(SpanIntegration, AttachedSinkDoesNotPerturbEventOrder) {
+  auto run = [](bool traced) {
+    core::DmSystem::Config config;
+    config.node_count = 2;
+    config.node.shm.arena_bytes = 4 * MiB;
+    config.node.recv.arena_bytes = 8 * MiB;
+    config.seed = 41;
+    core::DmSystem system(config);
+    obs::SpanTracer tracer(system.simulator());
+    if (traced) system.set_span_sink(&tracer);
+    system.start();
+    auto& client = system.create_server(0, 2 * MiB);
+    std::vector<std::byte> page(4096, std::byte{0x5a});
+    for (mem::EntryId id = 0; id < 32; ++id)
+      EXPECT_TRUE(client.put_sync(id, page).ok());
+    system.run_for(200 * kMilli);
+    return system.hub().snapshot_json();
+  };
+  // Span recording is passive: metrics snapshots must be byte-identical
+  // with and without the sink attached.
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace dm

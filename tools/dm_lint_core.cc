@@ -366,6 +366,12 @@ const std::map<std::string, std::string>& owner_table() {
       {"SystemKind", "swap/systems.h"},
       {"ZswapCache", "swap/zswap_cache.h"},
       {"KvStore", "kvstore/kv_store.h"},
+      {"SpanSink", "sim/span_sink.h"},
+      {"SpanScope", "sim/span_sink.h"},
+      {"SpanTracer", "obs/span.h"},
+      {"FlightRecorder", "obs/flight_recorder.h"},
+      {"SloMonitor", "obs/slo.h"},
+      {"Profiler", "obs/profiler.h"},
       {"MetricsHub", "obs/metrics_hub.h"},
       {"MiniSpark", "rddcache/mini_spark.h"},
       {"AppSpec", "workloads/app_catalog.h"},
@@ -457,6 +463,31 @@ std::vector<Token> tokenize(const SourceFile& file) {
 
 bool is_member_access(const Token& t) {
   return t.prev == '.' || (t.prev == '>' && t.prev2 == '-');
+}
+
+// Scans forward from just after a begin_span call token, looking for an
+// `end_span` identifier before the innermost enclosing block closes (brace
+// depth relative to the call site drops below zero). Lambdas passed as
+// arguments open and close their own braces, so a completion callback that
+// ends the span inside the same block counts as reachable.
+bool span_closed_in_block(const SourceFile& file, std::size_t start_line,
+                          std::size_t start_col) {
+  int depth = 0;
+  for (std::size_t li = start_line; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t i = li == start_line ? start_col : 0; i < line.size();
+         ++i) {
+      const char c = line[i];
+      if (c == '{') ++depth;
+      if (c == '}' && --depth < 0) return false;
+      if (c == 'e' && line.compare(i, 8, "end_span") == 0 &&
+          (i == 0 || !is_ident_char(line[i - 1])) &&
+          (i + 8 >= line.size() || !is_ident_char(line[i + 8]))) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -648,6 +679,7 @@ class Analyzer {
   void check_layering(const SourceFile& file);
   void check_status_discard(const SourceFile& file);
   void check_include_direct(const SourceFile& file);
+  void check_span_unclosed(const SourceFile& file);
   void report(const SourceFile& file, int line, const char* rule,
               std::string message);
 
@@ -955,12 +987,48 @@ void Analyzer::check_include_direct(const SourceFile& file) {
   }
 }
 
+void Analyzer::check_span_unclosed(const SourceFile& file) {
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (std::size_t pos = 0;;) {
+      auto at = line.find("begin_span", pos);
+      if (at == std::string::npos) break;
+      pos = at + 1;
+      if (at > 0 && is_ident_char(line[at - 1])) continue;
+      const std::size_t end = at + 10;
+      if (end < line.size() && is_ident_char(line[end])) continue;
+      // Only member calls are span-open sites: `sink.begin_span(` or
+      // `sink->begin_span(`. Declarations (`virtual ... begin_span(`) and
+      // out-of-line definitions (`SpanTracer::begin_span(`) are skipped.
+      std::size_t b = at;
+      while (b > 0 && (line[b - 1] == ' ' || line[b - 1] == '\t')) --b;
+      const bool member =
+          b > 0 && (line[b - 1] == '.' ||
+                    (line[b - 1] == '>' && b > 1 && line[b - 2] == '-'));
+      if (!member) continue;
+      std::size_t after = end;
+      while (after < line.size() &&
+             (line[after] == ' ' || line[after] == '\t')) {
+        ++after;
+      }
+      if (after >= line.size() || line[after] != '(') continue;
+      if (!span_closed_in_block(file, li, end)) {
+        report(file, static_cast<int>(li) + 1, kRuleSpanUnclosed,
+               "begin_span with no end_span reachable in the enclosing block "
+               "(prefer sim::SpanScope; async hand-offs that close the span "
+               "elsewhere need an explicit allow marker)");
+      }
+    }
+  }
+}
+
 void Analyzer::analyze(const SourceFile& file) {
   check_determinism(file);
   check_unordered_iteration(file);
   check_layering(file);
   check_status_discard(file);
   check_include_direct(file);
+  check_span_unclosed(file);
 }
 
 std::vector<Diagnostic> Analyzer::run() {

@@ -21,6 +21,10 @@
 //    configuration, e.g. fixtures and gated paths).
 //  * includes     — IWYU-lite: a file that names a project type includes
 //    that type's header directly instead of leaning on transitive pulls.
+//  * spans        — a raw member call to begin_span must have a matching
+//    end_span reachable in its enclosing block (async hand-offs that close
+//    the span elsewhere carry an explicit allow marker); prefer the
+//    sim::SpanScope guard, which the rule never flags.
 //
 // The analyzer is deliberately token/line-level (no libclang): it
 // preprocesses comments and string literals away, then matches tokens, so
@@ -71,6 +75,7 @@ inline constexpr const char* kRuleLayerDep = "layer-dep";
 inline constexpr const char* kRuleLayerTestInclude = "layer-test-include";
 inline constexpr const char* kRuleStatusDiscard = "status-discard";
 inline constexpr const char* kRuleIncludeDirect = "include-direct";
+inline constexpr const char* kRuleSpanUnclosed = "span-unclosed";
 
 // Runs every rule over the configured tree and returns the sorted,
 // deduplicated findings.

@@ -7,24 +7,46 @@
 //
 // Usage:
 //   dm_top [--nodes N] [--servers-per-node N] [--ops N] [--seed S]
-//          [--json] [--prom]
+//          [--json] [--prom] [--trace-out FILE] [--flight-dir DIR]
+//          [--slo SPEC]... [--chaos]
 //
 // --json / --prom dump the merged snapshot in JSON / Prometheus text
 // exposition format instead of the table (both are deterministic for a
 // fixed seed, so they diff cleanly across runs).
+//
+// Diagnosis mode (see README "Diagnosing a slow fault"):
+//   --trace-out FILE   attach a causal span tracer and write the Chrome
+//                      trace-event JSON (load in Perfetto / about:tracing);
+//                      also prints the slowest trace's critical path.
+//   --flight-dir DIR   keep per-node flight-recorder rings and dump
+//                      flight_<node>.json into DIR at exit (and at every
+//                      injected fault when --chaos is on).
+//   --slo SPEC         evaluate a declarative SLO (repeatable), e.g.
+//                      "p99 rpc.rtt < 40us over 200ms"; alerts print on
+//                      exit and the process exits 1 if any page fired.
+//   --chaos            crash a node mid-workload (with recovery), so the
+//                      fault machinery above has something to show.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/dm_system.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "obs/span.h"
+#include "sim/chaos_schedule.h"
+#include "sim/failure_injector.h"
 
 namespace {
 
@@ -37,6 +59,10 @@ struct Options {
   std::uint64_t seed = 42;
   bool json = false;
   bool prom = false;
+  std::string trace_out;
+  std::string flight_dir;
+  std::vector<std::string> slos;
+  bool chaos = false;
 };
 
 std::uint64_t parse_u64(const char* s, const char* flag) {
@@ -72,10 +98,20 @@ Options parse(int argc, char** argv) {
       opt.json = true;
     } else if (std::strcmp(argv[i], "--prom") == 0) {
       opt.prom = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      opt.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0) {
+      opt.flight_dir = next("--flight-dir");
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      opt.slos.emplace_back(next("--slo"));
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      opt.chaos = true;
     } else {
       std::fprintf(stderr,
                    "usage: dm_top [--nodes N] [--servers-per-node N] "
-                   "[--ops N] [--seed S] [--json] [--prom]\n");
+                   "[--ops N] [--seed S] [--json] [--prom] "
+                   "[--trace-out FILE] [--flight-dir DIR] [--slo SPEC]... "
+                   "[--chaos]\n");
       std::exit(2);
     }
   }
@@ -172,6 +208,57 @@ int main(int argc, char** argv) {
   core::DmSystem system(config);
   system.start();
 
+  // Diagnosis instrumentation (all optional; absent flags leave the run
+  // byte-identical to an uninstrumented one).
+  const bool want_spans = !opt.trace_out.empty() || !opt.flight_dir.empty();
+  std::unique_ptr<obs::SpanTracer> tracer;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (want_spans) {
+    tracer = std::make_unique<obs::SpanTracer>(system.simulator());
+    if (!opt.flight_dir.empty()) {
+      flight = std::make_unique<obs::FlightRecorder>(system.simulator());
+      tracer->set_flight_recorder(flight.get());
+    }
+    system.set_span_sink(tracer.get());
+  }
+  std::unique_ptr<obs::SloMonitor> slo;
+  if (!opt.slos.empty()) {
+    slo = std::make_unique<obs::SloMonitor>(system.simulator(),
+                                            system.hub());
+    for (const std::string& spec : opt.slos) {
+      const Status added = slo->add_spec(spec);
+      if (!added.ok()) {
+        std::fprintf(stderr, "dm_top: bad --slo spec \"%s\": %s\n",
+                     spec.c_str(), added.to_string().c_str());
+        return 2;
+      }
+    }
+    slo->start();
+  }
+  std::unique_ptr<sim::ChaosSchedule> chaos;
+  if (opt.chaos) {
+    if (flight != nullptr) {
+      // Crash-time dump: snapshot every ring the moment the fault fires,
+      // before repair traffic overwrites the recent history.
+      system.failures().set_fault_listener([&](std::string_view label) {
+        (void)flight->dump_all(opt.flight_dir, std::string(label));
+      });
+    }
+    sim::ChaosSchedule::Hooks hooks;
+    hooks.crash_node = [&](sim::ChaosSchedule::NodeRef n) {
+      system.crash_node(n);
+    };
+    hooks.recover_node = [&](sim::ChaosSchedule::NodeRef n) {
+      system.recover_node(n);
+    };
+    chaos = std::make_unique<sim::ChaosSchedule>(system.failures(),
+                                                 std::move(hooks));
+    // One mid-workload crash of the last node, healed shortly after.
+    chaos->crash(50 * kMilli, static_cast<sim::ChaosSchedule::NodeRef>(
+                                  system.node(opt.nodes - 1).id()),
+                 100 * kMilli);
+  }
+
   // One server per node; a mixed shm/remote split (paper's FS-1:1 point)
   // so both the shm and remote tier columns move.
   core::LdmcOptions mixed;
@@ -194,14 +281,63 @@ int main(int argc, char** argv) {
   }
   system.run_for(100 * kMilli);  // let scrapes/heartbeats settle
 
+  int exit_code = 0;
+  if (tracer != nullptr && !opt.trace_out.empty()) {
+    std::ofstream file(opt.trace_out,
+                       std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "dm_top: cannot write %s\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    file << tracer->chrome_trace_json();
+  }
+  if (flight != nullptr) {
+    // Explicit operator request: dump every ring as it stands at exit.
+    (void)flight->dump_all(opt.flight_dir, "dm_top");
+  }
+  if (slo != nullptr) {
+    const std::string alerts = slo->alerts_text();
+    std::printf("\nslo alerts (%zu):\n%s", slo->alerts().size(),
+                alerts.empty() ? "  (none)\n" : alerts.c_str());
+    for (const auto& alert : slo->alerts())
+      if (alert.page) exit_code = 1;
+  }
+
   if (opt.json) {
     std::fputs(system.hub().snapshot_json().c_str(), stdout);
-    return 0;
+    return exit_code;
   }
   if (opt.prom) {
     std::fputs(system.hub().prometheus_text().c_str(), stdout);
-    return 0;
+    return exit_code;
   }
   render_table(system);
-  return 0;
+
+  if (tracer != nullptr) {
+    // Critical path of the slowest completed trace: where did the virtual
+    // time actually go? (The same accounting the profiler aggregates.)
+    std::uint64_t slowest_trace = 0;
+    obs::SpanTracer::Breakdown slowest;
+    for (std::uint64_t trace : tracer->completed_traces()) {
+      obs::SpanTracer::Breakdown b = tracer->breakdown(trace);
+      if (slowest_trace == 0 || b.total > slowest.total) {
+        slowest_trace = trace;
+        slowest = std::move(b);
+      }
+    }
+    if (slowest_trace != 0) {
+      const auto* spans = tracer->spans(slowest_trace);
+      const std::string root =
+          spans != nullptr && !spans->empty() ? (*spans)[0].name : "?";
+      std::printf("\nslowest trace %s (%s, %s total), critical path:\n",
+                  obs::span_trace_label(slowest_trace).c_str(),
+                  root.c_str(),
+                  ns_str(static_cast<std::uint64_t>(slowest.total)).c_str());
+      for (const auto& [subsystem, ns] : slowest.by_subsystem)
+        std::printf("  %-10s %s\n", subsystem.c_str(),
+                    ns_str(static_cast<std::uint64_t>(ns)).c_str());
+    }
+  }
+  return exit_code;
 }
