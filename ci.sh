@@ -2,11 +2,13 @@
 # CI entry point: a lint stage (dm_lint + -Werror build), plain build +
 # tests, an ASan/UBSan build + tests, an observability-artifact stage
 # (flight dumps, span traces, profiler + micro-substrate JSON, with
-# parse + determinism gates), then a gcov-instrumented build gating
+# parse + determinism gates), a cluster-scale stage (the 128-node
+# multi-tenant soak run twice same-seed in separate processes with a
+# byte-identical snapshot diff), then a gcov-instrumented build gating
 # line coverage of the swap + compression layers.
 #
 # Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--obs-only|
-#                 --coverage-only]
+#                 --scale-only|--coverage-only]
 #
 # The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
 # -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
@@ -105,6 +107,49 @@ for path in paths:
 EOF
 }
 
+run_scale() {
+  local build_dir=build
+  local art="$build_dir/artifacts/scale"
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j "$jobs" --target cluster_scale_test
+
+  rm -rf "$art"
+  mkdir -p "$art/run_a" "$art/run_b"
+
+  # Two separate processes run the 128-node multi-tenant soak with the same
+  # seed; each dumps its end-of-soak metrics snapshot via DM_SCALE_SNAPSHOT.
+  # Everything in the soak is virtual-time, so the dumps must be
+  # byte-identical — any divergence means nondeterminism crept into the
+  # placement / harvest / migration path at cluster scale.
+  echo "==> scale: 128-node soak x2 (same seed, separate processes)"
+  local run
+  for run in run_a run_b; do
+    DM_SCALE_SNAPSHOT="$art/$run/snapshot.json" \
+      ./"$build_dir"/tests/cluster_scale_test \
+      --gtest_filter='ClusterScaleSoakTest.ZipfianChurnAt128NodesIsLossFreeAndDeterministic' \
+      > "$art/$run/soak.out"
+  done
+
+  echo "==> scale: cross-process same-seed snapshot determinism"
+  diff "$art/run_a/snapshot.json" "$art/run_b/snapshot.json" || {
+    echo "==> SCALE GATE FAILED: same-seed soak snapshots differ"
+    exit 1
+  }
+
+  echo "==> scale: snapshot parses and carries the scale counters"
+  python3 - "$art/run_a/snapshot.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+text = json.dumps(snap)
+for key in ("placement.rebalance_moves", "ldms.migrated_entries",
+            "harvest.offload_requests"):
+    if key not in text:
+        sys.exit(f"snapshot missing counter {key}")
+    print(f"    found {key}")
+EOF
+}
+
 run_coverage() {
   local build_dir=build-cov
   # The swap/compress test set: unit, sweep, adaptive-engine, the
@@ -176,6 +221,11 @@ fi
 if [[ "$mode" == "all" || "$mode" == "--obs-only" ]]; then
   echo "==> observability artifacts (flight/trace/profile/micro JSON)"
   run_obs
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--scale-only" ]]; then
+  echo "==> cluster-scale soak (same-seed cross-process determinism)"
+  run_scale
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--coverage-only" ]]; then

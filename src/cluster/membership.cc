@@ -15,6 +15,7 @@ Membership::Membership(sim::Simulator& simulator, net::RpcEndpoint& rpc,
       -> StatusOr<std::vector<std::byte>> {
     net::WireWriter w;
     w.put_u64(free_provider_ ? free_provider_() : 0);
+    w.put_u64(pressure_provider_ ? pressure_provider_() : 0);
     return std::move(w).take();
   };
   rpc_.handle(kRpcHeartbeat, report_free);
@@ -26,6 +27,11 @@ Membership::Membership(sim::Simulator& simulator, net::RpcEndpoint& rpc,
 void Membership::set_free_bytes_provider(
     std::function<std::uint64_t()> provider) {
   free_provider_ = std::move(provider);
+}
+
+void Membership::set_pressure_provider(
+    std::function<std::uint64_t()> provider) {
+  pressure_provider_ = std::move(provider);
 }
 
 void Membership::set_peers(std::vector<net::NodeId> peers) {
@@ -51,17 +57,20 @@ void Membership::tick() {
                 if (!resp.ok()) return;  // silence; timeout sweep handles it
                 net::WireReader r(*resp);
                 const std::uint64_t free_bytes = r.u64();
-                if (r.ok()) note_alive(peer, free_bytes);
+                const std::uint64_t pressure = r.u64();
+                if (r.ok()) note_alive(peer, free_bytes, pressure);
               });
   }
   check_timeouts();
   sim_.schedule_after(config_.heartbeat_period, [this]() { tick(); });
 }
 
-void Membership::note_alive(net::NodeId peer, std::uint64_t free_bytes) {
+void Membership::note_alive(net::NodeId peer, std::uint64_t free_bytes,
+                            std::uint64_t pressure) {
   auto& st = state_[peer];
   st.last_seen = sim_.now();
   st.free_bytes = free_bytes;
+  st.pressure = pressure;
   if (!st.alive) {
     st.alive = true;
     for (const auto& fn : up_listeners_) fn(peer);
@@ -87,6 +96,11 @@ bool Membership::alive(net::NodeId peer) const {
 std::uint64_t Membership::last_known_free(net::NodeId peer) const {
   auto it = state_.find(peer);
   return it == state_.end() ? 0 : it->second.free_bytes;
+}
+
+std::uint64_t Membership::last_known_pressure(net::NodeId peer) const {
+  auto it = state_.find(peer);
+  return it == state_.end() ? 0 : it->second.pressure;
 }
 
 SimTime Membership::last_seen(net::NodeId peer) const {

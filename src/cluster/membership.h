@@ -4,9 +4,11 @@
 // A peer that misses heartbeats for longer than the failure timeout is
 // declared down ("handshake time-out" in the paper) and listeners — the
 // leader-election coordinator, the eviction/repair machinery — are
-// notified. Heartbeat replies carry the peer's free donatable memory, so
-// the same exchange feeds the placement candidate set and the max-free-
-// memory election rule without extra message rounds.
+// notified. Heartbeat replies carry the peer's free donatable memory and
+// its own disaggregated-memory pressure, so the same exchange feeds the
+// placement candidate set (load-aware donor scoring), the harvester's
+// imbalance view, and the max-free-memory election rule without extra
+// message rounds.
 #pragma once
 
 #include <functional>
@@ -32,6 +34,9 @@ class Membership {
 
   // Free-bytes the node advertises in heartbeat replies (bound once).
   void set_free_bytes_provider(std::function<std::uint64_t()> provider);
+  // Pressure (windowed local DM-request count) advertised alongside the
+  // free bytes; unset = 0 (an idle, fully donatable host).
+  void set_pressure_provider(std::function<std::uint64_t()> provider);
 
   void set_peers(std::vector<net::NodeId> peers);
   const std::vector<net::NodeId>& peers() const noexcept { return peers_; }
@@ -42,6 +47,7 @@ class Membership {
 
   bool alive(net::NodeId peer) const;
   std::uint64_t last_known_free(net::NodeId peer) const;
+  std::uint64_t last_known_pressure(net::NodeId peer) const;
   SimTime last_seen(net::NodeId peer) const;
 
   // Fired once per transition alive -> down.
@@ -57,17 +63,20 @@ class Membership {
   struct PeerState {
     SimTime last_seen = 0;
     std::uint64_t free_bytes = 0;
+    std::uint64_t pressure = 0;
     bool alive = true;
   };
 
   void tick();
-  void note_alive(net::NodeId peer, std::uint64_t free_bytes);
+  void note_alive(net::NodeId peer, std::uint64_t free_bytes,
+                  std::uint64_t pressure);
   void check_timeouts();
 
   sim::Simulator& sim_;
   net::RpcEndpoint& rpc_;
   Config config_;
   std::function<std::uint64_t()> free_provider_;
+  std::function<std::uint64_t()> pressure_provider_;
   std::vector<net::NodeId> peers_;
   std::unordered_map<net::NodeId, PeerState> state_;
   std::vector<std::function<void(net::NodeId)>> down_listeners_;

@@ -110,7 +110,66 @@ class PowerOfTwoPolicy final : public PlacementPolicy {
   }
 };
 
+// Load-aware selection (§IV.E extended): power-of-two probing like
+// PowerOfTwoPolicy — and consuming the rng identically, so with all
+// pressures zero the two policies pick the same nodes — but the duel is
+// decided by the pressure-discounted score instead of raw free bytes.
+// Skewed tenant traffic raises the hot nodes' pressure, which repels new
+// placements before their pools are exhausted — the feedback loop that
+// keeps large-cluster p99 bounded. Random probing (rather than ranking or
+// weighted sampling over the whole set) matters: candidate free-memory
+// views are heartbeat-stale, and any policy that concentrates picks on the
+// advertised-richest donor dogpiles it between refreshes.
+class LoadAwarePolicy final : public PlacementPolicy {
+ public:
+  StatusOr<std::vector<net::NodeId>> pick(
+      std::span<const CandidateNode> candidates, std::size_t count,
+      std::uint64_t size, Rng& rng) override {
+    auto pool = eligible(candidates, size);
+    if (pool.size() < count)
+      return ResourceExhaustedError("not enough eligible nodes");
+    std::vector<net::NodeId> out;
+    while (out.size() < count) {
+      const std::size_t a = static_cast<std::size_t>(rng.next_below(pool.size()));
+      std::size_t b = static_cast<std::size_t>(rng.next_below(pool.size()));
+      if (pool.size() > 1) {
+        while (b == a) b = static_cast<std::size_t>(rng.next_below(pool.size()));
+      }
+      const std::size_t chosen =
+          load_aware_score(pool[a]) >= load_aware_score(pool[b]) ? a : b;
+      out.push_back(pool[chosen].node);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+    return out;
+  }
+};
+
 }  // namespace
+
+std::uint64_t load_aware_score(const CandidateNode& candidate) noexcept {
+  // Gentle discount: kPressureScale ops of windowed demand halve a donor's
+  // effective free memory. A divisor linear in raw pressure would zero out
+  // every busy donor and funnel all placements onto the few idle ones —
+  // measurably worse than pressure-blind choice once the idle donors fill.
+  constexpr std::uint64_t kPressureScale = 256;
+  const std::uint64_t score =
+      candidate.free_bytes * kPressureScale /
+      (kPressureScale + candidate.pressure);
+  return score > 0 ? score : 1;
+}
+
+std::vector<CandidateNode> load_aware_rank(
+    std::span<const CandidateNode> candidates, std::uint64_t size) {
+  auto ranked = eligible(candidates, size);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CandidateNode& a, const CandidateNode& b) {
+              const std::uint64_t sa = load_aware_score(a);
+              const std::uint64_t sb = load_aware_score(b);
+              if (sa != sb) return sa > sb;
+              return a.node < b.node;
+            });
+  return ranked;
+}
 
 StatusOr<std::vector<net::NodeId>> PlacementPolicy::pick_recorded(
     std::span<const CandidateNode> candidates, std::size_t count,
@@ -134,6 +193,7 @@ std::string_view to_string(PlacementPolicyKind kind) noexcept {
     case PlacementPolicyKind::kRoundRobin: return "round-robin";
     case PlacementPolicyKind::kWeightedRoundRobin: return "weighted-rr";
     case PlacementPolicyKind::kPowerOfTwoChoices: return "power-of-two";
+    case PlacementPolicyKind::kLoadAware: return "load-aware";
   }
   return "?";
 }
@@ -149,6 +209,8 @@ std::unique_ptr<PlacementPolicy> make_placement_policy(
       return std::make_unique<WeightedRoundRobinPolicy>();
     case PlacementPolicyKind::kPowerOfTwoChoices:
       return std::make_unique<PowerOfTwoPolicy>();
+    case PlacementPolicyKind::kLoadAware:
+      return std::make_unique<LoadAwarePolicy>();
   }
   return nullptr;
 }

@@ -25,9 +25,29 @@ enum class PlacementPolicyKind {
   kRoundRobin,
   kWeightedRoundRobin,
   kPowerOfTwoChoices,
+  // Load-aware donor selection: power-of-two probing where the duel is
+  // decided by free memory discounted by the candidate's advertised
+  // pressure (CandidateNode::pressure). With every pressure at zero it
+  // degenerates to kPowerOfTwoChoices exactly (same draws from the same
+  // rng stream, same winners) — the static behaviour is a special case,
+  // not a separate code path.
+  kLoadAware,
 };
 
 std::string_view to_string(PlacementPolicyKind kind) noexcept;
+
+// The load-aware donor score: free bytes discounted by the host's own
+// disaggregated-memory demand. A donor under pressure will soon want its
+// DRAM back (harvest/eviction), so placing there trades one migration now
+// for another later. Clamped to >= 1 for eligible candidates so a hot donor
+// stays pickable when it is the only option.
+std::uint64_t load_aware_score(const CandidateNode& candidate) noexcept;
+
+// Candidates that can host `size` bytes, ordered by descending
+// load_aware_score with node id breaking ties — the deterministic donor
+// ranking underlying kLoadAware (exposed for the harvester and tests).
+std::vector<CandidateNode> load_aware_rank(
+    std::span<const CandidateNode> candidates, std::uint64_t size);
 
 class PlacementPolicy {
  public:

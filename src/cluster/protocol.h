@@ -10,10 +10,11 @@ namespace dm::cluster {
 
 enum RpcMethodId : net::RpcMethod {
   // membership / election
-  kRpcHeartbeat = 1,       // req: {}                 resp: u64 free_bytes
-  kRpcQueryFree = 2,       // req: {}                 resp: u64 free_bytes
+  kRpcHeartbeat = 1,       // req: {}      resp: u64 free_bytes, u64 pressure
+  kRpcQueryFree = 2,       // req: {}      resp: u64 free_bytes, u64 pressure
   kRpcAnnounceLeader = 3,  // req: u32 group, u32 leader   resp: {}
-  kRpcQueryCandidates = 4, // req: {}  resp: u32 n, (u32 node, u64 free)*
+  kRpcQueryCandidates = 4, // req: {}
+                           // resp: u32 n, (u32 node, u64 free, u64 pressure)*
 
   // remote disaggregated memory (RDMS side)
   kRpcAllocBlock = 10,  // req: u32 owner_node, u32 server, u64 entry, u32 size
@@ -22,6 +23,10 @@ enum RpcMethodId : net::RpcMethod {
   kRpcEvictNotice = 12, // req: u32 count, {u32 server, u64 entry}*  resp: {}
   kRpcReadBlock = 13,   // req: u64 rkey, u64 offset, u32 size
                         // resp: bytes (two-sided fallback read path)
+
+  // live region migration (hot host -> owning node)
+  kRpcMigrateRegion = 14,  // req: u32 hot_node, u32 max_entries
+                           // resp: u32 migrations_scheduled
 };
 
 // Registers human-readable labels for every method id above, so the
@@ -36,6 +41,7 @@ inline void label_rpc_methods(net::RpcEndpoint& rpc) {
   rpc.label_method(kRpcFreeBlock, "free_block");
   rpc.label_method(kRpcEvictNotice, "evict_notice");
   rpc.label_method(kRpcReadBlock, "read_block");
+  rpc.label_method(kRpcMigrateRegion, "migrate_region");
 }
 
 }  // namespace dm::cluster

@@ -13,6 +13,11 @@ using ServerId = std::uint32_t;  // virtual server (VM/container/JVM executor)
 struct CandidateNode {
   net::NodeId node = net::kInvalidNode;
   std::uint64_t free_bytes = 0;
+  // The host's own disaggregated-memory demand (fault/remote-request count
+  // in its current monitor window), advertised alongside free_bytes in
+  // heartbeats. Load-aware placement discounts a donor by it: a node that
+  // is itself thrashing makes a poor host no matter how much it donated.
+  std::uint64_t pressure = 0;
 };
 
 }  // namespace dm::cluster

@@ -1,6 +1,7 @@
 #include "core/dm_system.h"
 
 #include "cluster/group.h"
+#include "cluster/harvester.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
 #include "core/repair_service.h"
@@ -97,7 +98,57 @@ void DmSystem::start() {
     };
     sim_.schedule_after(config_.regroup_check_period, Rearm{this});
   }
+  if (config_.harvest_enabled) {
+    harvester_ = std::make_unique<cluster::Harvester>(config_.harvest);
+    struct Rearm {
+      DmSystem* self;
+      void operator()() {
+        (void)self->harvest_tick();
+        self->sim_.schedule_after(self->config_.harvest_period, *this);
+      }
+    };
+    sim_.schedule_after(config_.harvest_period, Rearm{this});
+  }
   run_for(config_.warmup);
+}
+
+std::size_t DmSystem::harvest_tick() {
+  if (harvester_ == nullptr)
+    harvester_ = std::make_unique<cluster::Harvester>(config_.harvest);
+  // Global load snapshot in node-id order. The simulation's coordinator
+  // view stands in for what a real deployment would assemble from
+  // heartbeat gossip; all inputs come from the same virtual-time state, so
+  // the plan is deterministic.
+  std::vector<cluster::NodeLoad> loads;
+  loads.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    cluster::NodeLoad load;
+    load.node = nodes_[i]->id();
+    load.up = nodes_[i]->up();
+    load.donated_capacity = nodes_[i]->recv_pool().capacity_bytes();
+    load.donated_free = nodes_[i]->donatable_free_bytes();
+    load.hosted_bytes = services_[i]->rdms().hosted_bytes();
+    load.pressure = services_[i]->pressure();
+    loads.push_back(load);
+  }
+  const auto actions = harvester_->plan(loads);
+  std::size_t executed = 0;
+  for (const auto& action : actions) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->id() != action.node || !nodes_[i]->up()) continue;
+      switch (action.kind) {
+        case cluster::HarvestAction::Kind::kMigrateOff:
+          services_[i]->offload_hot_node(action.max_entries);
+          ++executed;
+          break;
+        case cluster::HarvestAction::Kind::kReclaimSlab:
+          if (services_[i]->reclaim_donated_slab()) ++executed;
+          break;
+      }
+      break;
+    }
+  }
+  return executed;
 }
 
 std::optional<net::NodeId> DmSystem::regroup_tick() {

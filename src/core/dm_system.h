@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/group.h"
+#include "cluster/harvester.h"
 #include "cluster/node.h"
 #include "common/units.h"
 #include "core/ldmc.h"
@@ -64,6 +65,12 @@ class DmSystem {
     // snapshots the merged cluster metrics every `scrape_period` of virtual
     // time (0 disables).
     SimTime scrape_period = 1 * kSecond;
+    // Cluster memory harvesting (§I, §IV.F extended): a periodic planner
+    // that live-migrates hosted regions off pressure-hot nodes and drains
+    // donated slabs when those nodes' pools are nearly exhausted.
+    bool harvest_enabled = false;
+    SimTime harvest_period = 1 * kSecond;
+    cluster::Harvester::Config harvest{};
     // Fault-tolerance knobs (all off by default so the failure-free event
     // schedule is unchanged):
     // Retry policy applied to every node's RPC endpoint (control plane).
@@ -130,6 +137,13 @@ class DmSystem {
   std::optional<net::NodeId> regroup_tick();
   std::uint64_t regroups() const noexcept { return regroups_; }
 
+  // One harvest round (also runs periodically when Config::harvest_enabled):
+  // snapshots every node's load, asks the cluster::Harvester for a plan, and
+  // executes it — offloading hosted regions from hot nodes and reclaiming
+  // their donated slabs. Returns the number of actions executed.
+  std::size_t harvest_tick();
+  cluster::Harvester* harvester() noexcept { return harvester_.get(); }
+
   // Aggregate counters across all node services (testing/benching aid).
   std::uint64_t total_counter(std::string_view name) const;
 
@@ -148,6 +162,7 @@ class DmSystem {
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<NodeService>> services_;
   std::vector<std::unique_ptr<RepairService>> repairs_;
+  std::unique_ptr<cluster::Harvester> harvester_;
   obs::MetricsHub hub_;
   void rewire_group(cluster::GroupId group);
 

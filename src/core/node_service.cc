@@ -12,6 +12,7 @@
 namespace dm::core {
 
 using cluster::kRpcEvictNotice;
+using cluster::kRpcMigrateRegion;
 using cluster::kRpcQueryCandidates;
 
 NodeService::NodeService(cluster::Node& node, Config config)
@@ -32,8 +33,15 @@ NodeService::NodeService(cluster::Node& node, Config config)
                      [this](net::NodeId from, net::WireReader& r) {
                        return handle_evict_notice(from, r);
                      });
+  node_.rpc().handle(kRpcMigrateRegion,
+                     [this](net::NodeId from, net::WireReader& r) {
+                       return handle_migrate_region(from, r);
+                     });
   node_.membership().on_peer_down(
       [this](net::NodeId dead) { repair_after_node_down(dead); });
+  // Advertise local DM demand in heartbeats so placement and harvesting on
+  // other nodes can steer around hot spots.
+  node_.membership().set_pressure_provider([this]() { return pressure(); });
 }
 
 NodeService::~NodeService() = default;
@@ -162,6 +170,7 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                              std::span<const std::byte> data, bool allow_disk,
                              PutCallback done, net::TraceId trace) {
   ++remote_puts_window_;
+  note_pressure();
   const auto size = static_cast<std::uint32_t>(data.size());
   // Keep a copy for the disk fallback: rdmc consumes the span immediately,
   // but on failure we need the bytes again.
@@ -214,6 +223,7 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
 void NodeService::put_device(cluster::ServerId server, mem::EntryId entry,
                              std::span<const std::byte> data, PutCallback done,
                              net::TraceId trace) {
+  note_pressure();
   // §VI convergence: a local NVM tier, when present, sits between remote
   // memory and the rotational swap device.
   if (node_.nvm() != nullptr) {
@@ -384,6 +394,9 @@ void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
                             std::uint64_t offset, std::span<std::byte> out,
                             DoneCallback done, net::TraceId trace) {
   if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  // A get that misses shared memory is unmet local demand: it counts
+  // toward the advertised pressure alongside overflow puts.
+  if (location.tier != mem::Tier::kSharedMemory) note_pressure();
   // Per-tier access latency: the paper's core latency story is the gap
   // between these histograms (DRAM-speed shm vs RDMA vs device).
   const SimTime started = node_.simulator().now();
@@ -494,7 +507,7 @@ StatusOr<std::vector<std::byte>> NodeService::handle_evict_notice(
 }
 
 void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
-                                net::NodeId away_from) {
+                                net::NodeId away_from, net::TraceId trace) {
   Ldmc* owner = client(server);
   if (owner == nullptr) {
     ++metrics_.counter("ldms.migrate_unknown_server");
@@ -526,10 +539,12 @@ void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
   auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
   std::vector<net::NodeId> exclude;
   for (const auto& replica : loc->replicas) exclude.push_back(replica.node);
+  const SimTime migrate_started = node_.simulator().now();
   rdmc_.read(
       sources, 0, *bytes,
-      [this, server, entry, bytes, survivors, old_replica,
-       exclude = std::move(exclude), base = *loc](const Status& s) mutable {
+      [this, server, entry, bytes, survivors, old_replica, trace,
+       migrate_started, exclude = std::move(exclude),
+       base = *loc](const Status& s) mutable {
         if (!s.ok()) {
           ++metrics_.counter("ldms.migrate_read_failed");
           return;
@@ -537,7 +552,7 @@ void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
         rdmc_.put(
             server, entry, *bytes,
             [this, server, entry, bytes, survivors, old_replica,
-             base = std::move(base)](
+             migrate_started, base = std::move(base)](
                 StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
               if (!fresh.ok()) {
                 ++metrics_.counter("ldms.migrate_put_failed");
@@ -562,9 +577,117 @@ void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
               live_owner->map().commit(entry, std::move(updated));
               rdmc_.free_replicas({old_replica});
               ++metrics_.counter("ldms.migrated_entries");
+              metrics_.histogram("cluster.migrate_ns")
+                  .record(static_cast<std::uint64_t>(
+                      node_.simulator().now() - migrate_started));
             },
-            exclude, /*count=*/1);
-      });
+            exclude, /*count=*/1, trace);
+      },
+      trace);
+}
+
+// ---- cluster balancing: live migration off hot nodes ------------------------
+
+StatusOr<std::vector<std::byte>> NodeService::handle_migrate_region(
+    net::NodeId, net::WireReader& req) {
+  const auto hot_node = static_cast<net::NodeId>(req.u32());
+  const auto max_entries = req.u32();
+  DM_RETURN_IF_ERROR(req.status());
+  // Walk owned maps in (server, entry) order and schedule copy-then-redirect
+  // migrations for regions replicated on the hot node, up to the budget.
+  // Like the eviction path, migrations run asynchronously after the ack;
+  // each keeps the source replica until the new location commits, so a
+  // crash mid-migration degrades back to the pre-migration placement.
+  std::uint32_t scheduled = 0;
+  for (const auto& [server, client_ptr] : clients_) {
+    if (scheduled >= max_entries) break;
+    for (mem::EntryId entry :
+         client_ptr->map().entries_with_replica_on(hot_node)) {
+      if (scheduled >= max_entries) break;
+      node_.simulator().schedule_after(
+          0, [this, hot_node, server = server, entry]() {
+            migrate_entry(server, entry, hot_node, node_.next_trace_id());
+          });
+      ++scheduled;
+      ++metrics_.counter("placement.rebalance_moves");
+    }
+  }
+  net::WireWriter w;
+  w.put_u32(scheduled);
+  return std::move(w).take();
+}
+
+void NodeService::offload_hot_node(std::size_t max_entries,
+                                   std::function<void(std::size_t)> done) {
+  // Owners of regions hosted here, asked in ascending id order, each with
+  // the remaining budget. Sequential (next RPC only after the previous
+  // reply) so the budget is respected and the RPC order is deterministic.
+  struct Offload : std::enable_shared_from_this<Offload> {
+    NodeService* self = nullptr;
+    std::vector<std::pair<net::NodeId, std::size_t>> owners;
+    std::size_t next = 0;
+    std::size_t budget = 0;
+    std::size_t accepted = 0;
+    std::function<void(std::size_t)> done;
+
+    void step() {
+      if (next >= owners.size() || budget == 0) {
+        if (done) done(accepted);
+        return;
+      }
+      const net::NodeId owner = owners[next++].first;
+      net::WireWriter w;
+      w.put_u32(self->node_.id());
+      w.put_u32(static_cast<std::uint32_t>(budget));
+      self->node_.rpc().call(
+          owner, kRpcMigrateRegion, std::move(w).take(), 100 * kMilli,
+          [op = shared_from_this()](StatusOr<std::vector<std::byte>> resp) {
+            if (resp.ok()) {
+              net::WireReader r(*resp);
+              const std::uint32_t got = r.u32();
+              if (r.ok()) {
+                const std::size_t n = std::min<std::size_t>(got, op->budget);
+                op->accepted += n;
+                op->budget -= n;
+                ++op->self->metrics_.counter("harvest.offload_scheduled");
+              }
+            }
+            op->step();
+          });
+    }
+  };
+
+  ++metrics_.counter("harvest.offload_requests");
+  auto op = std::make_shared<Offload>();
+  op->self = this;
+  op->owners = rdms_.hosted_owners();
+  op->budget = max_entries;
+  op->done = std::move(done);
+  op->step();
+}
+
+bool NodeService::reclaim_donated_slab() {
+  if (rdms_.active_drains() != 0) return false;
+  auto slab = node_.recv_pool().least_loaded_slab();
+  if (!slab) return false;
+  ++metrics_.counter("harvest.slab_drains");
+  const SimTime drain_started = node_.simulator().now();
+  const std::uint64_t registered_before = node_.recv_pool().registered_bytes();
+  rdms_.drain_slab(*slab, [this, drain_started,
+                           registered_before](const Status& s) {
+    metrics_.histogram("harvest.drain_ns")
+        .record(static_cast<std::uint64_t>(node_.simulator().now() -
+                                           drain_started));
+    if (!s.ok()) {
+      ++metrics_.counter("harvest.drain_failed");
+      return;
+    }
+    const std::uint64_t registered_after = node_.recv_pool().registered_bytes();
+    if (registered_after < registered_before)
+      metrics_.counter("harvest.reclaimed_pages") +=
+          (registered_before - registered_after) / 4096;
+  });
+  return true;
 }
 
 void NodeService::repair_after_node_down(net::NodeId dead) {
@@ -811,16 +934,50 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
   done(Status::Ok());
 }
 
+// ---- pressure accounting (§I imbalance signal) -------------------------------
+
+// Lazy window rotation: both the reader and the writer first roll the
+// window forward to the one containing `now`, so the reported value is the
+// count of the last *complete* window regardless of call order. A node
+// that goes quiet for more than a window reports zero (stale demand must
+// not repel placements forever).
+void NodeService::note_pressure() {
+  const SimTime now = node_.simulator().now();
+  if (now - pressure_window_start_ >= config_.pressure_window) {
+    const bool adjacent =
+        now - pressure_window_start_ < 2 * config_.pressure_window;
+    pressure_last_ = adjacent ? pressure_accum_ : 0;
+    pressure_accum_ = 0;
+    pressure_window_start_ =
+        now - (now - pressure_window_start_) % config_.pressure_window;
+  }
+  ++pressure_accum_;
+}
+
+std::uint64_t NodeService::pressure() const {
+  const SimTime now = node_.simulator().now();
+  if (now - pressure_window_start_ >= config_.pressure_window) {
+    const bool adjacent =
+        now - pressure_window_start_ < 2 * config_.pressure_window;
+    pressure_last_ = adjacent ? pressure_accum_ : 0;
+    pressure_accum_ = 0;
+    pressure_window_start_ =
+        now - (now - pressure_window_start_) % config_.pressure_window;
+  }
+  return pressure_last_;
+}
+
 // ---- leader candidate sets (§IV.E) -------------------------------------------
 
 std::vector<cluster::CandidateNode> NodeService::local_candidate_view(
     bool include_self) const {
   std::vector<cluster::CandidateNode> out;
   if (include_self)
-    out.push_back({node_.id(), node_.donatable_free_bytes()});
+    out.push_back({node_.id(), node_.donatable_free_bytes(), pressure()});
   for (net::NodeId peer : node_.membership().peers()) {
     if (!node_.membership().alive(peer)) continue;
-    out.push_back({peer, node_.membership().last_known_free(peer)});
+    out.push_back({peer, node_.membership().last_known_free(peer),
+                   node_.membership().last_known_pressure(peer)});
   }
   return out;
 }
@@ -835,6 +992,7 @@ StatusOr<std::vector<std::byte>> NodeService::handle_query_candidates(
   for (const auto& candidate : view) {
     w.put_u32(candidate.node);
     w.put_u64(candidate.free_bytes);
+    w.put_u64(candidate.pressure);
   }
   ++metrics_.counter("candidates.queries_served");
   return std::move(w).take();
@@ -872,7 +1030,8 @@ void NodeService::refresh_candidates() {
           for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
             const auto node = static_cast<net::NodeId>(r.u32());
             const std::uint64_t free_bytes = r.u64();
-            fresh.push_back({node, free_bytes});
+            const std::uint64_t pressure = r.u64();
+            fresh.push_back({node, free_bytes, pressure});
           }
           if (r.ok()) {
             candidate_cache_ = std::move(fresh);

@@ -77,6 +77,10 @@ class NodeService {
     // draw from one consistent picture.
     bool leader_candidates = false;
     SimTime candidate_refresh_period = 500 * kMilli;
+    // Window over which the node's disaggregated-memory pressure (remote
+    // puts + non-shm gets) is counted. The last full window's count is
+    // what heartbeats advertise and load-aware placement discounts by.
+    SimTime pressure_window = 1 * kSecond;
   };
 
   using PutCallback = std::function<void(StatusOr<mem::EntryLocation>)>;
@@ -151,6 +155,29 @@ class NodeService {
 
   std::uint64_t data_loss_entries() const noexcept { return data_loss_; }
 
+  // --- cluster balancing (§I, §IV.F extended) --------------------------------
+  // This node's disaggregated-memory demand: the op count of the last full
+  // pressure window (lazily rotated against virtual time). Advertised in
+  // heartbeats; feeds load-aware placement and the harvester.
+  std::uint64_t pressure() const;
+
+  // Runs on a *hot* node: asks the owners of regions hosted here (via
+  // kRpcMigrateRegion, in ascending owner order) to live-migrate up to
+  // `max_entries` of them to colder donors. Owners reuse the crash-safe
+  // copy-then-redirect path (migrate_entry), so every region stays readable
+  // throughout and the old copy is freed only after the new location
+  // commits. `done` (optional) receives the number of migrations the owners
+  // accepted.
+  void offload_hot_node(std::size_t max_entries,
+                        std::function<void(std::size_t)> done = {});
+
+  // Drains and deregisters this node's least-loaded donated slab (§IV.F
+  // policy 1 mechanics, cluster-initiated): hosted regions migrate away,
+  // then the DRAM is handed back. Returns false if a drain is already in
+  // flight or nothing is registered. Reclaimed DRAM lands in the
+  // "harvest.reclaimed_pages" counter when the drain completes.
+  bool reclaim_donated_slab();
+
  private:
   struct DiskExtents {
     std::uint64_t cursor = 0;
@@ -182,12 +209,16 @@ class NodeService {
                                                        net::WireReader& req);
   [[nodiscard]] StatusOr<std::vector<std::byte>> handle_query_candidates(
       net::NodeId from, net::WireReader& req);
+  [[nodiscard]] StatusOr<std::vector<std::byte>> handle_migrate_region(
+      net::NodeId from, net::WireReader& req);
   std::vector<cluster::CandidateNode> local_candidate_view(
       bool include_self) const;
   void refresh_candidates();
   void migrate_entry(cluster::ServerId server, mem::EntryId entry,
-                     net::NodeId away_from);
+                     net::NodeId away_from,
+                     net::TraceId trace = net::kNoTrace);
   void repair_after_node_down(net::NodeId dead);
+  void note_pressure();
 
   [[nodiscard]] StatusOr<std::uint64_t> alloc_disk(std::uint32_t size);
   void free_disk(std::uint64_t offset, std::uint32_t size);
@@ -210,6 +241,12 @@ class NodeService {
   // monitor window (feeds §IV.F policy 2).
   std::map<cluster::ServerId, std::uint64_t> dm_requests_window_;
   std::uint64_t remote_puts_window_ = 0;
+  // Pressure accounting: `pressure()` reports the last *full* window so the
+  // advertised value is stable within a window (lazy rotation on read and
+  // write keeps it a pure function of virtual time + op sequence).
+  mutable std::uint64_t pressure_accum_ = 0;
+  mutable std::uint64_t pressure_last_ = 0;
+  mutable SimTime pressure_window_start_ = 0;
   std::uint64_t data_loss_ = 0;
   bool monitor_running_ = false;
   std::vector<cluster::CandidateNode> candidate_cache_;

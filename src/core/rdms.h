@@ -13,6 +13,8 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cluster/node.h"
 #include "cluster/protocol.h"
@@ -37,6 +39,15 @@ class Rdms {
   std::size_t hosted_blocks() const noexcept { return blocks_.size(); }
   std::uint64_t hosted_bytes() const noexcept {
     return node_.recv_pool().used_bytes();
+  }
+
+  // Owners with blocks hosted here, ascending node id, with block counts.
+  // Deterministic (blocks_ is ordered); the harvester's offload path walks
+  // this to ask each owner to migrate regions away from this node.
+  std::vector<std::pair<net::NodeId, std::size_t>> hosted_owners() const {
+    std::map<net::NodeId, std::size_t> counts;
+    for (const auto& [key, block] : blocks_) ++counts[block.owner_node];
+    return {counts.begin(), counts.end()};
   }
 
   // Begins draining `slab`: owners of all hosted blocks are told to migrate

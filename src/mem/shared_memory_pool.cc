@@ -51,7 +51,7 @@ Status SharedMemoryPool::put(ServerId owner, EntryId id,
   }
   std::memcpy(arena_.data() + *offset, data.data(), data.size());
   entries_.emplace(key, Entry{*offset, static_cast<std::uint32_t>(data.size()),
-                              owner});
+                              owner, id});
   stored_per_server_[owner] += data.size();
   lru_.touch(key);
   ++metrics_.counter("shm.puts");
@@ -124,8 +124,12 @@ std::optional<std::pair<ServerId, EntryId>> SharedMemoryPool::lru_entry()
     const {
   auto key = lru_.peek_lru();
   if (!key) return std::nullopt;
-  return std::pair{static_cast<ServerId>(*key >> 48),
-                   static_cast<EntryId>(*key & 0xffffffffffffULL)};
+  // Recover (owner, id) from the entry record, not the packed key: the key
+  // only keeps the low 48 id bits, and callers feed the result back into
+  // owner-map lookups that need the exact id.
+  auto it = entries_.find(*key);
+  if (it == entries_.end()) return std::nullopt;
+  return std::pair{it->second.owner, it->second.id};
 }
 
 StatusOr<std::vector<std::byte>> SharedMemoryPool::evict_lru(

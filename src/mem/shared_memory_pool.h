@@ -82,8 +82,13 @@ class SharedMemoryPool {
     std::uint64_t offset;
     std::uint32_t size;  // stored bytes (<= block size class)
     ServerId owner;
+    // Full 64-bit entry id. The packed Key truncates ids to 48 bits, so
+    // (owner, id) must be recovered from here — never decoded from the Key
+    // — or hash-derived ids (the KV store's) come back mangled and the
+    // spill path deletes entries the owner's map still points at.
+    EntryId id = 0;
   };
-  using Key = std::uint64_t;  // (owner << 48) | id  — ids are per-server
+  using Key = std::uint64_t;  // (owner << 48) | low 48 id bits
   static Key make_key(ServerId owner, EntryId id) noexcept {
     return (static_cast<Key>(owner) << 48) | (id & 0xffffffffffffULL);
   }

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "cluster/group.h"
+#include "cluster/harvester.h"
 #include "cluster/membership.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
@@ -68,16 +69,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PlacementPolicyKind::kRandom,
                       PlacementPolicyKind::kRoundRobin,
                       PlacementPolicyKind::kWeightedRoundRobin,
-                      PlacementPolicyKind::kPowerOfTwoChoices),
+                      PlacementPolicyKind::kPowerOfTwoChoices,
+                      PlacementPolicyKind::kLoadAware),
     [](const auto& param_info) {
-      return std::string(to_string(param_info.param)) == "round-robin"
-                 ? "round_robin"
-                 : std::string(to_string(param_info.param)) == "weighted-rr"
-                       ? "weighted_rr"
-                       : std::string(to_string(param_info.param)) ==
-                                 "power-of-two"
-                             ? "power_of_two"
-                             : "random";
+      std::string name(to_string(param_info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
     });
 
 TEST(PlacementTest, RoundRobinCyclesEvenly) {
@@ -126,6 +124,220 @@ TEST(PlacementTest, WeightedRrFavorsFreeNodes) {
     if (picked->front() == 0) ++node0;
   }
   EXPECT_GT(node0, 800);  // ~90% expected
+}
+
+// ---- load-aware placement -------------------------------------------------------
+
+TEST(LoadAwareTest, ScoreDiscountsPressure) {
+  // Equal free memory: the pressured donor scores strictly lower, and the
+  // discount is gentle — 256 window ops halve the score, they don't zero it.
+  CandidateNode idle{0, 1 * MiB, 0};
+  CandidateNode busy{1, 1 * MiB, 256};
+  CandidateNode thrashing{2, 1 * MiB, 100000};
+  EXPECT_EQ(load_aware_score(idle), 1 * MiB);
+  EXPECT_EQ(load_aware_score(busy), 512 * KiB);
+  EXPECT_LT(load_aware_score(thrashing), load_aware_score(busy));
+  EXPECT_GE(load_aware_score(thrashing), 1u);  // hot donors stay pickable
+}
+
+TEST(LoadAwareTest, ScoreTradesFreeMemoryAgainstPressure) {
+  // A busy donor with much more free memory still outranks an idle donor
+  // with little: pressure discounts, it does not disqualify.
+  CandidateNode small_idle{0, 1 * MiB, 0};
+  CandidateNode big_busy{1, 16 * MiB, 256};  // halved -> 8 MiB effective
+  EXPECT_GT(load_aware_score(big_busy), load_aware_score(small_idle));
+}
+
+TEST(LoadAwareTest, RankOrdersByScoreThenNodeId) {
+  std::vector<CandidateNode> pool{
+      {7, 2 * MiB, 0},    // score 2 MiB
+      {3, 4 * MiB, 256},  // score 2 MiB (tie with node 7 -> id breaks it)
+      {5, 8 * MiB, 0},    // score 8 MiB
+      {1, 100, 0},        // too small for a 4 KiB region
+      {2, 1 * MiB, 0},    // score 1 MiB
+  };
+  auto ranked = load_aware_rank(pool, 4096);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].node, 5u);
+  EXPECT_EQ(ranked[1].node, 3u);  // ties resolve by ascending node id
+  EXPECT_EQ(ranked[2].node, 7u);
+  EXPECT_EQ(ranked[3].node, 2u);
+  // Pure function of the snapshot: ranking twice gives the same order.
+  auto again = load_aware_rank(pool, 4096);
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    EXPECT_EQ(ranked[i].node, again[i].node);
+}
+
+TEST(LoadAwareTest, ZeroPressureReproducesPowerOfTwo) {
+  // Regression pin for the static behaviour: with every pressure at zero,
+  // kLoadAware must consume the rng stream identically to
+  // kPowerOfTwoChoices and pick the same winners — turning load-awareness
+  // off is a no-op, not a different policy.
+  auto load_aware = make_placement_policy(PlacementPolicyKind::kLoadAware);
+  auto p2c = make_placement_policy(PlacementPolicyKind::kPowerOfTwoChoices);
+  Rng rng_a(17);
+  Rng rng_b(17);
+  std::vector<CandidateNode> pool;
+  for (std::size_t i = 0; i < 16; ++i)
+    pool.push_back({static_cast<net::NodeId>(i), (i + 1) * MiB, 0});
+  for (int round = 0; round < 200; ++round) {
+    auto a = load_aware->pick(pool, 3, 4096, rng_a);
+    auto b = p2c->pick(pool, 3, 4096, rng_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+    // Drift the pool deterministically so the pin covers many shapes.
+    pool[static_cast<std::size_t>(round) % pool.size()].free_bytes += 64 * KiB;
+  }
+}
+
+TEST(LoadAwareTest, PressureFlipsTheDuel) {
+  // Two candidates, so every pick duels them directly: p2c always keeps
+  // the bigger donor, load-aware flips to the smaller one once pressure
+  // discounts the bigger below it.
+  std::vector<CandidateNode> pool{{0, 8 * MiB, 4 * 256},  // score 8/5 MiB
+                                  {1, 4 * MiB, 0}};       // score 4 MiB
+  auto load_aware = make_placement_policy(PlacementPolicyKind::kLoadAware);
+  auto p2c = make_placement_policy(PlacementPolicyKind::kPowerOfTwoChoices);
+  for (int round = 0; round < 50; ++round) {
+    Rng rng_a(round);
+    Rng rng_b(round);
+    auto a = load_aware->pick(pool, 1, 4096, rng_a);
+    auto b = p2c->pick(pool, 1, 4096, rng_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->front(), 1u);
+    EXPECT_EQ(b->front(), 0u);
+  }
+}
+
+// ---- harvester ------------------------------------------------------------------
+
+NodeLoad make_load(net::NodeId node, std::uint64_t pressure,
+                   std::uint64_t hosted = 1 * MiB,
+                   std::uint64_t capacity = 4 * MiB,
+                   std::uint64_t free_bytes = 3 * MiB) {
+  NodeLoad load;
+  load.node = node;
+  load.donated_capacity = capacity;
+  load.donated_free = free_bytes;
+  load.hosted_bytes = hosted;
+  load.pressure = pressure;
+  return load;
+}
+
+TEST(HarvesterTest, QuietClusterPlansNothing) {
+  Harvester harvester(Harvester::Config{});
+  // Everyone below the absolute pressure floor: one stray fault on an
+  // otherwise idle cluster must not trigger migrations.
+  std::vector<NodeLoad> loads{make_load(0, 1), make_load(1, 0),
+                              make_load(2, 2)};
+  EXPECT_TRUE(harvester.plan(loads).empty());
+  EXPECT_EQ(harvester.plans(), 1u);
+  EXPECT_EQ(harvester.migrations_planned(), 0u);
+}
+
+TEST(HarvesterTest, HotNodesRankedByPressureThenId) {
+  Harvester::Config config;
+  config.max_actions_per_tick = 8;
+  Harvester harvester(config);
+  // Five idle nodes keep the cluster mean low enough (350) that all three
+  // loaded nodes clear the 2x-mean hot threshold.
+  std::vector<NodeLoad> loads{make_load(0, 0),    make_load(1, 900),
+                              make_load(2, 0),    make_load(3, 900),
+                              make_load(4, 1000), make_load(5, 0),
+                              make_load(6, 0),    make_load(7, 0)};
+  auto actions = harvester.plan(loads);
+  ASSERT_EQ(actions.size(), 3u);
+  EXPECT_EQ(actions[0].node, 4u);  // hottest first
+  EXPECT_EQ(actions[1].node, 1u);  // tie at 900 -> ascending node id
+  EXPECT_EQ(actions[2].node, 3u);
+  for (const auto& action : actions) {
+    EXPECT_EQ(action.kind, HarvestAction::Kind::kMigrateOff);
+    EXPECT_EQ(action.max_entries, config.migrate_entries_per_action);
+  }
+}
+
+TEST(HarvesterTest, SkipsDownAndNonHostingNodes) {
+  Harvester harvester(Harvester::Config{});
+  auto down = make_load(0, 5000);
+  down.up = false;
+  auto empty_host = make_load(1, 5000, /*hosted=*/0);
+  // Idle up nodes drag the mean down so pressure 5000 clears the hot
+  // threshold; the down node must not count toward that mean.
+  std::vector<NodeLoad> loads{down, empty_host, make_load(2, 5000),
+                              make_load(3, 0), make_load(4, 0)};
+  auto actions = harvester.plan(loads);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].node, 2u);
+}
+
+TEST(HarvesterTest, ReclaimOnlyBelowFreeWatermark) {
+  Harvester harvester(Harvester::Config{});
+  // Node 0 hot with a nearly-full donated pool (free 1/8 <= 0.25 watermark)
+  // -> migrate + reclaim. Node 1 hot with a half-empty pool -> migrate only.
+  std::vector<NodeLoad> loads{
+      make_load(0, 5000, 1 * MiB, 8 * MiB, 1 * MiB),
+      make_load(1, 4000, 1 * MiB, 8 * MiB, 4 * MiB),
+      make_load(2, 0),
+      make_load(3, 0),
+      make_load(4, 0),
+      make_load(5, 0),
+  };
+  auto actions = harvester.plan(loads);
+  ASSERT_EQ(actions.size(), 3u);
+  EXPECT_EQ(actions[0].kind, HarvestAction::Kind::kMigrateOff);
+  EXPECT_EQ(actions[0].node, 0u);
+  EXPECT_EQ(actions[1].kind, HarvestAction::Kind::kReclaimSlab);
+  EXPECT_EQ(actions[1].node, 0u);
+  EXPECT_EQ(actions[2].kind, HarvestAction::Kind::kMigrateOff);
+  EXPECT_EQ(actions[2].node, 1u);
+  EXPECT_EQ(harvester.reclaims_planned(), 1u);
+}
+
+TEST(HarvesterTest, HotRatioComparesAgainstClusterMean) {
+  // Pressure 100 everywhere: nobody is 2x the mean, nothing to harvest —
+  // uniform load is balance, not heat.
+  Harvester harvester(Harvester::Config{});
+  std::vector<NodeLoad> uniform{make_load(0, 100), make_load(1, 100),
+                                make_load(2, 100), make_load(3, 100)};
+  EXPECT_TRUE(harvester.plan(uniform).empty());
+  // Same total pressure concentrated on one node: that node is hot.
+  std::vector<NodeLoad> skewed{make_load(0, 400), make_load(1, 0),
+                               make_load(2, 0), make_load(3, 0)};
+  auto actions = harvester.plan(skewed);
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0].node, 0u);
+}
+
+TEST(HarvesterTest, MaxActionsCapsTheRound) {
+  Harvester::Config config;
+  config.max_actions_per_tick = 2;
+  Harvester harvester(config);
+  // Two hot nodes with exhausted pools would plan 2 migrations + 2 reclaims
+  // uncapped; the per-tick cap must clip the round at 2 actions.
+  std::vector<NodeLoad> loads;
+  for (net::NodeId n = 0; n < 8; ++n) {
+    const std::uint64_t pressure = n < 2 ? 4000 + n : 0;
+    loads.push_back(make_load(n, pressure, 1 * MiB, 8 * MiB, 0));
+  }
+  auto actions = harvester.plan(loads);
+  EXPECT_EQ(actions.size(), 2u);
+}
+
+TEST(HarvesterTest, PlanIsDeterministic) {
+  std::vector<NodeLoad> loads{make_load(0, 300), make_load(1, 700),
+                              make_load(2, 0), make_load(3, 700)};
+  Harvester a(Harvester::Config{});
+  Harvester b(Harvester::Config{});
+  auto plan_a = a.plan(loads);
+  auto plan_b = b.plan(loads);
+  ASSERT_EQ(plan_a.size(), plan_b.size());
+  for (std::size_t i = 0; i < plan_a.size(); ++i) {
+    EXPECT_EQ(plan_a[i].kind, plan_b[i].kind);
+    EXPECT_EQ(plan_a[i].node, plan_b[i].node);
+    EXPECT_EQ(plan_a[i].max_entries, plan_b[i].max_entries);
+  }
 }
 
 // ---- group directory ------------------------------------------------------------

@@ -199,6 +199,33 @@ TEST(SharedMemoryPoolTest, LruEvictionOrder) {
   EXPECT_FALSE(pool.contains(1, 11));
 }
 
+TEST(SharedMemoryPoolTest, LruEntryPreservesFull64BitIds) {
+  // Regression: the packed pool key keeps only the low 48 id bits. lru_entry
+  // used to decode (owner, id) from the key, so hash-derived 64-bit ids (the
+  // KV store's) came back truncated and the spill path deleted entries the
+  // owner's map still pointed at.
+  SharedMemoryPool pool({.arena_bytes = 1 * MiB, .slab = {}});
+  ASSERT_TRUE(pool.set_donation(1, 512 * KiB).ok());
+  const EntryId wide = 0xdeadbeefcafe0123ULL;  // high 16 bits non-zero
+  auto data = pattern(64);
+  ASSERT_TRUE(pool.put(1, wide, data).ok());
+  ASSERT_TRUE(pool.contains(1, wide));
+
+  auto lru = pool.lru_entry();
+  ASSERT_TRUE(lru.has_value());
+  EXPECT_EQ(lru->first, 1u);
+  EXPECT_EQ(lru->second, wide);
+
+  ServerId owner = 0;
+  EntryId id = 0;
+  auto evicted = pool.evict_lru(&owner, &id);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(owner, 1u);
+  EXPECT_EQ(id, wide);
+  EXPECT_EQ(*evicted, data);
+  EXPECT_FALSE(pool.contains(1, wide));
+}
+
 TEST(SharedMemoryPoolTest, ShrinkBelowStoredFails) {
   SharedMemoryPool pool({.arena_bytes = 1 * MiB, .slab = {}});
   ASSERT_TRUE(pool.set_donation(1, 64 * KiB).ok());

@@ -6,14 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "common/checksum.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
 #include "core/node_service.h"
+#include "mem/memory_map.h"
 #include "core/repair_service.h"
+#include "sim/chaos_schedule.h"
 #include "swap/swap_manager.h"
 #include "workloads/page_content.h"
 
@@ -244,6 +248,148 @@ TEST(RecoveryTest, DegradedPutToppedUpByRepairScan) {
   std::vector<std::byte> out(4096);
   ASSERT_TRUE(client.get_sync(11, out).ok());
   EXPECT_EQ(out, page_data(11));
+}
+
+// --- live region migration (cluster balancing) -------------------------------
+
+// Index of the node whose id is `id` (ids and indices coincide today, but
+// the tests shouldn't bake that in).
+std::size_t node_index(DmSystem& system, net::NodeId id) {
+  for (std::size_t i = 0; i < system.node_count(); ++i)
+    if (system.node(i).id() == id) return i;
+  ADD_FAILURE() << "unknown node id " << id;
+  return 0;
+}
+
+// The replica host (excluding the client's own node) carrying the most of
+// the client's entries — the natural migration source.
+net::NodeId busiest_host(Ldmc& client, net::NodeId self) {
+  std::map<net::NodeId, int> counts;
+  client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+    if (loc.tier != mem::Tier::kRemote) return;
+    for (const auto& replica : loc.replicas)
+      if (replica.node != self) ++counts[replica.node];
+  });
+  net::NodeId best = net::kInvalidNode;
+  int most = 0;
+  for (const auto& [node, count] : counts) {
+    if (count > most) {
+      best = node;
+      most = count;
+    }
+  }
+  return best;
+}
+
+// Live migration is copy-then-redirect: every get issued while entries are
+// being migrated off a node — and every get afterwards — must return the
+// exact pre-migration bytes, and the vacated node ends up hosting none of
+// them.
+TEST(RecoveryTest, MigrationServesPreMigrationBytesThroughout) {
+  DmSystem system(cluster_config(4, 1));
+  system.start();
+  auto& client = system.create_server(0, 64 * MiB, remote_only());
+  constexpr std::uint64_t kEntries = 24;
+  for (std::uint64_t id = 0; id < kEntries; ++id)
+    ASSERT_TRUE(client.put_sync(id, page_data(id)).ok());
+
+  const net::NodeId self = system.node(0).id();
+  const net::NodeId hot = busiest_host(client, self);
+  ASSERT_NE(hot, net::kInvalidNode);
+  const std::size_t hot_index = node_index(system, hot);
+  const std::size_t on_hot =
+      client.map().entries_with_replica_on(hot).size();
+  ASSERT_GT(on_hot, 0u);
+
+  // Kick the offload, then read every entry while the migrations are in
+  // flight — get_sync drives the simulator, so these reads interleave with
+  // the copy-then-redirect steps.
+  std::size_t accepted = 0;
+  bool offload_done = false;
+  system.service(hot_index).offload_hot_node(kEntries, [&](std::size_t n) {
+    accepted = n;
+    offload_done = true;
+  });
+  std::vector<std::byte> out(4096);
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    ASSERT_TRUE(client.get_sync(id, out).ok()) << "entry " << id;
+    EXPECT_EQ(out, page_data(id)) << "entry " << id;
+  }
+  ASSERT_TRUE(system.simulator().run_until_flag(offload_done));
+  EXPECT_EQ(accepted, on_hot);
+  system.run_for(2 * kSecond);
+
+  // Redirect complete: the hot node hosts none of the client's entries, the
+  // owner counted the moves, and every entry still reads pre-migration
+  // bytes from its new home.
+  EXPECT_TRUE(client.map().entries_with_replica_on(hot).empty());
+  auto& owner_metrics = system.service(0).metrics();
+  EXPECT_EQ(owner_metrics.counter_value("ldms.migrated_entries"), on_hot);
+  EXPECT_EQ(owner_metrics.counter_value("placement.rebalance_moves"), on_hot);
+  const Histogram* migrate_ns =
+      owner_metrics.find_histogram("cluster.migrate_ns");
+  ASSERT_NE(migrate_ns, nullptr);
+  EXPECT_EQ(migrate_ns->count(), on_hot);
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    ASSERT_TRUE(client.get_sync(id, out).ok()) << "entry " << id;
+    EXPECT_EQ(out, page_data(id)) << "entry " << id;
+    auto loc = client.map().lookup(id);
+    ASSERT_TRUE(loc.ok());
+    for (const auto& replica : loc->replicas) EXPECT_NE(replica.node, hot);
+  }
+}
+
+// A crash in the middle of a migration round must never lose the source
+// copy: the old replica is freed only after the new location commits, so
+// whichever side dies mid-flight, every entry stays readable with exact
+// pre-migration bytes and no data-loss event fires.
+TEST(RecoveryTest, CrashMidMigrationNeverLosesSourceCopy) {
+  DmSystem system(cluster_config(5, 2));
+  system.start();
+  auto& client = system.create_server(0, 64 * MiB, remote_only());
+  constexpr std::uint64_t kEntries = 16;
+  for (std::uint64_t id = 0; id < kEntries; ++id)
+    ASSERT_TRUE(client.put_sync(id, page_data(id)).ok());
+
+  const net::NodeId self = system.node(0).id();
+  const net::NodeId hot = busiest_host(client, self);
+  ASSERT_NE(hot, net::kInvalidNode);
+  const std::size_t hot_index = node_index(system, hot);
+  ASSERT_FALSE(client.map().entries_with_replica_on(hot).empty());
+
+  // Scripted chaos: the migration source crashes 25 us into the offload —
+  // after the migrate-region RPC lands, while the copy-then-redirect steps
+  // are in flight — and stays down for 200 ms.
+  sim::ChaosSchedule::Hooks hooks;
+  hooks.crash_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.crash_node(n);
+  };
+  hooks.recover_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.recover_node(n);
+  };
+  sim::ChaosSchedule chaos(system.failures(), hooks);
+  chaos.crash(system.simulator().now() + 25 * kMicro, hot, 200 * kMilli);
+
+  bool offload_done = false;
+  system.service(hot_index).offload_hot_node(
+      kEntries, [&](std::size_t) { offload_done = true; });
+  ASSERT_TRUE(system.simulator().run_until_flag(offload_done));
+  system.run_for(2 * kSecond);
+  EXPECT_EQ(chaos.crashes_fired(), 1u);
+
+  // Conservation: replication 2 plus commit-before-free means the single
+  // crash can't orphan anything — no service saw data loss, and every
+  // entry reads back its pre-migration bytes (the source node is up again
+  // by now, so even unmigrated entries are reachable).
+  std::uint64_t lost = 0;
+  for (std::size_t i = 0; i < system.node_count(); ++i)
+    lost += system.service(i).data_loss_entries();
+  EXPECT_EQ(lost, 0u);
+  std::vector<std::byte> out(4096);
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    ASSERT_TRUE(client.get_sync(id, out).ok()) << "entry " << id;
+    EXPECT_EQ(out, page_data(id)) << "entry " << id;
+  }
 }
 
 // --- crash during a write-back flush (adaptive swap-path engine) ------------

@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "sim/chaos_schedule.h"
+#include "sim/scenario.h"
 #include "sim/failure_injector.h"
 #include "sim/latency_model.h"
 #include "sim/simulator.h"
@@ -370,6 +373,132 @@ TEST(TracerTest, FilterByCategory) {
   EXPECT_EQ(only_a[1].detail, "z");
   tracer.clear();
   EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ---- ScenarioEngine -------------------------------------------------------
+
+ScenarioEngine::Config small_scenario(std::uint64_t seed) {
+  ScenarioEngine::Config config;
+  config.seed = seed;
+  config.node_count = 8;
+  config.initial_tenants = 3;
+  config.max_tenants = 10;
+  config.mean_arrival_gap = 200 * kMilli;
+  config.mean_lifetime = 1 * kSecond;
+  config.min_working_set = 16;
+  config.max_working_set = 64;
+  config.mean_op_gap = 1 * kMilli;
+  config.duration = 4 * kSecond;
+  return config;
+}
+
+std::vector<ScenarioEngine::Op> drain(ScenarioEngine& engine) {
+  std::vector<ScenarioEngine::Op> ops;
+  for (;;) {
+    auto op = engine.next();
+    if (op.kind == ScenarioEngine::Op::Kind::kDone) break;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(ScenarioEngineTest, SameConfigYieldsIdenticalOpStream) {
+  ScenarioEngine a(small_scenario(99));
+  ScenarioEngine b(small_scenario(99));
+  a.start(5 * kSecond);
+  b.start(5 * kSecond);
+  auto ops_a = drain(a);
+  auto ops_b = drain(b);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  ASSERT_GT(ops_a.size(), 100u);
+  for (std::size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].kind, ops_b[i].kind) << i;
+    EXPECT_EQ(ops_a[i].at, ops_b[i].at) << i;
+    EXPECT_EQ(ops_a[i].tenant, ops_b[i].tenant) << i;
+    EXPECT_EQ(ops_a[i].home, ops_b[i].home) << i;
+    EXPECT_EQ(ops_a[i].working_set, ops_b[i].working_set) << i;
+    EXPECT_EQ(ops_a[i].index, ops_b[i].index) << i;
+    EXPECT_EQ(ops_a[i].write, ops_b[i].write) << i;
+  }
+  // A different seed must not replay the same schedule.
+  ScenarioEngine c(small_scenario(100));
+  c.start(5 * kSecond);
+  auto ops_c = drain(c);
+  bool differs = ops_c.size() != ops_a.size();
+  for (std::size_t i = 0; !differs && i < ops_a.size(); ++i)
+    differs = ops_a[i].at != ops_c[i].at || ops_a[i].kind != ops_c[i].kind;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioEngineTest, OpsAreWellFormedAndTimeOrdered) {
+  auto config = small_scenario(7);
+  ScenarioEngine engine(config);
+  engine.start(0);
+  auto ops = drain(engine);
+  using Kind = ScenarioEngine::Op::Kind;
+  SimTime last = 0;
+  std::map<ScenarioEngine::TenantId, std::uint64_t> live;  // tenant -> ws
+  for (const auto& op : ops) {
+    EXPECT_GE(op.at, last);
+    EXPECT_LE(op.at, config.duration);
+    last = op.at;
+    switch (op.kind) {
+      case Kind::kSpawn:
+        EXPECT_EQ(live.count(op.tenant), 0u);
+        EXPECT_LT(op.home, config.node_count);
+        EXPECT_GE(op.working_set, config.min_working_set);
+        EXPECT_LE(op.working_set, config.max_working_set);
+        live[op.tenant] = op.working_set;
+        break;
+      case Kind::kAccess:
+        ASSERT_EQ(live.count(op.tenant), 1u);
+        EXPECT_LT(op.index, live[op.tenant]);
+        break;
+      case Kind::kRetire:
+        EXPECT_EQ(live.erase(op.tenant), 1u);
+        break;
+      case Kind::kDone:
+        break;
+    }
+  }
+  // Every spawned tenant retires by the horizon.
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(engine.tenants_spawned(), engine.tenants_retired());
+  EXPECT_LE(engine.tenants_spawned(), config.max_tenants);
+  EXPECT_GE(engine.tenants_spawned(), config.initial_tenants);
+  EXPECT_EQ(engine.active_tenants(), 0u);
+}
+
+TEST(ScenarioEngineTest, RetireNowCancelsATenantsRemainingOps) {
+  ScenarioEngine engine(small_scenario(3));
+  engine.start(0);
+  // First op is a spawn of tenant 0 at t=0.
+  auto first = engine.next();
+  ASSERT_EQ(first.kind, ScenarioEngine::Op::Kind::kSpawn);
+  engine.retire_now(first.tenant);
+  auto second = engine.next();
+  EXPECT_EQ(second.kind, ScenarioEngine::Op::Kind::kRetire);
+  EXPECT_EQ(second.tenant, first.tenant);
+  for (const auto& op : drain(engine)) EXPECT_NE(op.tenant, first.tenant);
+}
+
+TEST(ScenarioEngineTest, DiurnalWaveStaysInBandAndRepeats) {
+  auto config = small_scenario(1);
+  config.diurnal_depth = 0.5;
+  config.diurnal_period = 8 * kSecond;
+  ScenarioEngine engine(config);
+  engine.start(0);
+  for (SimTime t = 0; t <= 2 * config.diurnal_period; t += 100 * kMilli) {
+    const double m = engine.load_multiplier(t);
+    EXPECT_GE(m, 1.0 - config.diurnal_depth);
+    EXPECT_LE(m, 1.0 + config.diurnal_depth);
+    EXPECT_DOUBLE_EQ(m, engine.load_multiplier(t + config.diurnal_period));
+  }
+  auto flat = small_scenario(1);
+  flat.diurnal_depth = 0.0;
+  ScenarioEngine steady(flat);
+  steady.start(0);
+  EXPECT_DOUBLE_EQ(steady.load_multiplier(3 * kSecond), 1.0);
 }
 
 }  // namespace

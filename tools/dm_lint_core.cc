@@ -346,6 +346,10 @@ const std::map<std::string, std::string>& owner_table() {
       {"RemoteReplica", "mem/memory_map.h"},
       {"PlacementPolicy", "cluster/placement.h"},
       {"PlacementPolicyKind", "cluster/placement.h"},
+      {"Harvester", "cluster/harvester.h"},
+      {"NodeLoad", "cluster/harvester.h"},
+      {"HarvestAction", "cluster/harvester.h"},
+      {"ScenarioEngine", "sim/scenario.h"},
       {"Membership", "cluster/membership.h"},
       {"GroupDirectory", "cluster/group.h"},
       {"LeaderElection", "cluster/group.h"},
