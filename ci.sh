@@ -8,7 +8,7 @@
 # line coverage of the swap + compression layers.
 #
 # Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--obs-only|
-#                 --scale-only|--coverage-only]
+#                 --scale-only|--ec-only|--coverage-only]
 #
 # The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
 # -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
@@ -150,6 +150,68 @@ for key in ("placement.rebalance_moves", "ldms.migrated_entries",
 EOF
 }
 
+run_ec() {
+  local build_dir=build
+  local art="$build_dir/artifacts/ec"
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j "$jobs" \
+    --target ec_test chaos_test bench_ec_resilience
+
+  rm -rf "$art"
+  mkdir -p "$art/run_a" "$art/run_b"
+
+  echo "==> ec: codec + system battery"
+  ./"$build_dir"/tests/ec_test > "$art/ec_test.out"
+
+  # The EC crash-storm soak runs twice with the same seed in separate
+  # processes; each dumps its end-of-soak metrics snapshot via
+  # DM_EC_SNAPSHOT. Any divergence means nondeterminism crept into the
+  # encode / degraded-read / shard-repair path.
+  echo "==> ec: crash-storm soak x2 (same seed, separate processes)"
+  local run
+  for run in run_a run_b; do
+    DM_EC_SNAPSHOT="$art/$run/snapshot.json" \
+      ./"$build_dir"/tests/chaos_test \
+      --gtest_filter='ChaosEcSoakTest.*' \
+      > "$art/$run/soak.out"
+  done
+
+  echo "==> ec: cross-process same-seed snapshot determinism"
+  diff "$art/run_a/snapshot.json" "$art/run_b/snapshot.json" || {
+    echo "==> EC GATE FAILED: same-seed soak snapshots differ"
+    exit 1
+  }
+
+  # The resilience bench writes the headline comparison JSON; gate the
+  # Hydra economics: EC overhead strictly below replication's, recovery
+  # within 3x, zero loss anywhere.
+  echo "==> ec: resilience bench + economics gate"
+  (cd "$build_dir" && ./bench/bench_ec_resilience > artifacts/ec/bench.out)
+  python3 - "$build_dir/BENCH_ec_resilience.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+if bench["total_lost"] != 0:
+    sys.exit(f"EC GATE FAILED: {bench['total_lost']} entries lost")
+if not bench["ec_overhead_below_replication"]:
+    sys.exit("EC GATE FAILED: EC memory overhead not below replication's")
+if not bench["ec_recovery_within_3x"]:
+    sys.exit("EC GATE FAILED: EC recovery exceeded 3x replication's")
+rep = bench["replication_overhead"]
+for mode in bench["modes"]:
+    if mode["mode"].startswith("ec_"):
+        k, r = (int(x) for x in mode["mode"].split("_")[1:])
+        bound = (k + r) / k + 1e-6
+        if mode["overhead"] > bound:
+            sys.exit(f"EC GATE FAILED: {mode['mode']} overhead "
+                     f"{mode['overhead']:.3f} exceeds (k+r)/k={bound:.3f}")
+        print(f"    {mode['mode']}: overhead {mode['overhead']:.3f}x "
+              f"(bound {bound:.3f}x, replication {rep:.3f}x), "
+              f"recovery {mode['recovery_ns']} ns, lost {mode['lost']}")
+print("    economics gate passed")
+PYEOF
+}
+
 run_coverage() {
   local build_dir=build-cov
   # The swap/compress test set: unit, sweep, adaptive-engine, the
@@ -226,6 +288,11 @@ fi
 if [[ "$mode" == "all" || "$mode" == "--scale-only" ]]; then
   echo "==> cluster-scale soak (same-seed cross-process determinism)"
   run_scale
+fi
+
+if [[ "$mode" == "all" || "$mode" == "--ec-only" ]]; then
+  echo "==> erasure-coding battery (codec, soak determinism, economics gate)"
+  run_ec
 fi
 
 if [[ "$mode" == "all" || "$mode" == "--coverage-only" ]]; then

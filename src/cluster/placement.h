@@ -57,7 +57,7 @@ class PlacementPolicy {
   // entry of `size` bytes. Candidates with free_bytes < size are skipped.
   // Fails with kResourceExhausted when fewer than `count` eligible nodes
   // exist.
-  virtual StatusOr<std::vector<net::NodeId>> pick(
+  [[nodiscard]] virtual StatusOr<std::vector<net::NodeId>> pick(
       std::span<const CandidateNode> candidates, std::size_t count,
       std::uint64_t size, Rng& rng) = 0;
 
@@ -66,7 +66,7 @@ class PlacementPolicy {
   // "placement.failures" counters and "placement.candidates" /
   // "placement.eligible" histograms. Callers on the hot path use this so
   // observability sees every replica-set decision.
-  StatusOr<std::vector<net::NodeId>> pick_recorded(
+  [[nodiscard]] StatusOr<std::vector<net::NodeId>> pick_recorded(
       std::span<const CandidateNode> candidates, std::size_t count,
       std::uint64_t size, Rng& rng, MetricsRegistry* metrics);
 };

@@ -111,13 +111,13 @@ void Ldmc::remove(mem::EntryId entry,
     done(location.status());
     return;
   }
-  service_.remove_entry(
-      server_, entry, *location,
-      [this, entry, done = std::move(done)](const Status& s) {
-        if (s.ok()) (void)map_.remove(entry);
-        done(s);
-      },
-      trace);
+  // Erase first: the map is the commit point. A repair or migration that
+  // commits after this point sees the entry gone in its stale re-check and
+  // frees its own provisional blocks; freeing the just-erased committed
+  // replica set here therefore cannot race with a late commit (which would
+  // leak the late replica if the erase happened after the frees).
+  (void)map_.remove(entry);
+  service_.remove_entry(server_, entry, *location, std::move(done), trace);
 }
 
 StatusOr<std::size_t> Ldmc::stored_size(mem::EntryId entry) const {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "core/ldmc.h"
+#include "core/rdmc.h"
+#include "ec/rs_codec.h"
 #include "mem/memory_map.h"
 #include "net/wire.h"
 #include "storage/block_device.h"
@@ -18,6 +21,12 @@ using cluster::kRpcQueryCandidates;
 NodeService::NodeService(cluster::Node& node, Config config)
     : node_(node), config_(std::move(config)), rdms_(node),
       rdmc_(node, config_.rdmc) {
+  if (config_.rdmc.ec_k > 0) {
+    auto codec = ec::RsCodec::make(config_.rdmc.ec_k, config_.rdmc.ec_r);
+    // An invalid (k, r) leaves EC puts failing with FailedPrecondition
+    // rather than silently replicating.
+    if (codec.ok()) codec_.emplace(*std::move(codec));
+  }
   // Candidate set for placement: either this node's own heartbeat view or
   // the leader-aggregated cache (§IV.E), when enabled and populated.
   rdmc_.set_candidates_provider([this]() {
@@ -171,6 +180,10 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
                              PutCallback done, net::TraceId trace) {
   ++remote_puts_window_;
   note_pressure();
+  if (rdmc_.config().ec_k > 0) {
+    put_remote_ec(server, entry, data, allow_disk, std::move(done), trace);
+    return;
+  }
   const auto size = static_cast<std::uint32_t>(data.size());
   // Keep a copy for the disk fallback: rdmc consumes the span immediately,
   // but on failure we need the bytes again.
@@ -218,6 +231,283 @@ void NodeService::put_remote(cluster::ServerId server, mem::EntryId entry,
               done(replicas.status());
             },
             /*exclude=*/{}, /*count=*/0, trace);
+}
+
+// ---- erasure-coded remote tier (Hydra-style) --------------------------------
+
+void NodeService::ec_store(
+    cluster::ServerId server, mem::EntryId entry,
+    std::span<const std::byte> data,
+    std::function<void(StatusOr<mem::EntryLocation>)> done,
+    net::TraceId trace) {
+  if (!codec_) {
+    done(FailedPreconditionError("ec codec unavailable (invalid k/r)"));
+    return;
+  }
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  const std::size_t k = codec_->k();
+  const std::size_t total = codec_->total_shards();
+  auto shards = codec_->encode(data);
+  if (!shards.ok()) {
+    done(shards.status());
+    return;
+  }
+  std::vector<std::uint64_t> checksums(total);
+  std::vector<Rdmc::ShardPayload> payloads(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    payloads[i].shard = static_cast<std::uint32_t>(i);
+    payloads[i].bytes = std::move((*shards)[i]);
+    checksums[i] = fnv1a(payloads[i].bytes);
+  }
+  // Degraded floor ("min surviving shards"): never below k — fewer could
+  // not be read back — and min_shards = 0 means all-or-nothing.
+  const std::size_t min_needed =
+      config_.rdmc.min_shards == 0
+          ? total
+          : std::clamp(config_.rdmc.min_shards, k, total);
+  const auto size = static_cast<std::uint32_t>(data.size());
+  // The codec is pure computation; charge its CPU as virtual time before
+  // the shard fan-out starts.
+  const SimTime cost = config_.ec_encode_cost.cost(size);
+  metrics_.histogram("ec.encode_ns").record(
+      static_cast<std::uint64_t>(cost));
+  ++metrics_.counter("ec.encodes");
+  std::uint64_t span = 0;
+  if (spans_ != nullptr)
+    // dm-lint: allow(span-unclosed) — closed when the encode delay elapses.
+    span = spans_->begin_span(trace, node_.id(), "ec", "ec.encode");
+  node_.simulator().schedule_after(
+      cost,
+      [this, server, entry, size, k, total, span, trace,
+       have_span = spans_ != nullptr, checksums = std::move(checksums),
+       payloads = std::move(payloads), min_needed,
+       done = std::move(done)]() mutable {
+        if (have_span && spans_ != nullptr) spans_->end_span(span);
+        rdmc_.put_shards(
+            server, entry, std::move(payloads), min_needed,
+            [size, k, total, checksums = std::move(checksums),
+             done = std::move(done)](
+                StatusOr<std::vector<mem::RemoteReplica>> replicas) mutable {
+              if (!replicas.ok()) {
+                done(replicas.status());
+                return;
+              }
+              mem::EntryLocation loc;
+              loc.tier = mem::Tier::kRemote;
+              loc.stored_size = size;
+              loc.ec_k = static_cast<std::uint8_t>(k);
+              loc.ec_r = static_cast<std::uint8_t>(total - k);
+              loc.shard_checksums = std::move(checksums);
+              loc.replicas = *std::move(replicas);
+              loc.degraded = loc.replicas.size() < total;
+              done(std::move(loc));
+            },
+            /*exclude=*/{}, trace);
+      });
+}
+
+void NodeService::put_remote_ec(cluster::ServerId server, mem::EntryId entry,
+                                std::span<const std::byte> data,
+                                bool allow_disk, PutCallback done,
+                                net::TraceId trace) {
+  auto payload = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                          data.end());
+  ec_store(server, entry, *payload,
+           [this, server, entry, allow_disk, payload, trace,
+            done = std::move(done)](StatusOr<mem::EntryLocation> loc) mutable {
+             if (loc.ok()) {
+               if (loc->degraded)
+                 ++metrics_.counter("ldms.put_remote_degraded");
+               ++metrics_.counter("ldms.put_remote");
+               done(*std::move(loc));
+               return;
+             }
+             // Same fallback contract as replicated puts: capacity
+             // exhaustion is normal overflow, anything else leaves the
+             // disk copy flagged degraded for re-promotion.
+             const bool unreachable =
+                 loc.status().code() != StatusCode::kResourceExhausted;
+             if (allow_disk) {
+               ++metrics_.counter("ldms.remote_overflow_to_disk");
+               put_device(server, entry, *payload,
+                          [this, unreachable, done = std::move(done)](
+                              StatusOr<mem::EntryLocation> result) mutable {
+                            if (result.ok() && unreachable) {
+                              result->degraded = true;
+                              ++metrics_.counter("ldms.degraded_to_disk");
+                            }
+                            done(std::move(result));
+                          },
+                          trace);
+               return;
+             }
+             done(loc.status());
+           },
+           trace);
+}
+
+StatusOr<std::vector<std::byte>> NodeService::ec_decode_shards(
+    const mem::EntryLocation& loc,
+    std::vector<std::vector<std::byte>>& shards) {
+  // Reject shards whose bytes do not match the committed checksum before
+  // they can poison the decode (a corrupted shard is as lost as a missing
+  // one, but silently wrong without this gate).
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].empty() || i >= loc.shard_checksums.size()) continue;
+    if (fnv1a(shards[i]) != loc.shard_checksums[i]) {
+      shards[i].clear();
+      ++metrics_.counter("ec.corrupt_shards");
+    }
+  }
+  if (codec_ && codec_->k() == loc.ec_k && codec_->r() == loc.ec_r)
+    return codec_->decode(shards, loc.stored_size);
+  auto codec = ec::RsCodec::make(loc.ec_k, loc.ec_r);
+  if (!codec.ok()) return codec.status();
+  return codec->decode(shards, loc.stored_size);
+}
+
+void NodeService::get_entry_ec(const mem::EntryLocation& location,
+                               std::uint64_t offset, std::span<std::byte> out,
+                               DoneCallback done, net::TraceId trace) {
+  ++metrics_.counter("ec.reads");
+  const std::size_t k = location.ec_k;
+  const std::size_t shard_len =
+      ec::RsCodec::shard_size(location.stored_size, k);
+  if (out.empty()) {
+    node_.simulator().schedule_after(
+        0, [done = std::move(done)]() { done(Status::Ok()); });
+    return;
+  }
+  // Fast path: the requested range maps onto whole-or-partial *data*
+  // shards read directly (systematic code — no decode needed). Falls to
+  // the degraded path if any covering shard is missing or its host is
+  // known-down; reads that fail in flight (partitions) fall back too.
+  struct Seg {
+    mem::RemoteReplica replica;
+    std::uint64_t off = 0;
+    std::span<std::byte> dst;
+  };
+  std::vector<Seg> segs;
+  bool all_present = true;
+  const std::uint64_t end = offset + out.size();
+  for (std::uint64_t s = offset / shard_len; s * shard_len < end; ++s) {
+    const std::uint64_t seg_begin =
+        std::max<std::uint64_t>(offset, s * shard_len);
+    const std::uint64_t seg_end =
+        std::min<std::uint64_t>(end, (s + 1) * shard_len);
+    const mem::RemoteReplica* holder = nullptr;
+    for (const auto& replica : location.replicas)
+      if (replica.shard == s) holder = &replica;
+    if (holder == nullptr || !node_.fabric().node_up(holder->node)) {
+      all_present = false;
+      break;
+    }
+    segs.push_back({*holder, seg_begin - s * shard_len,
+                    out.subspan(seg_begin - offset, seg_end - seg_begin)});
+  }
+  if (!all_present) {
+    ec_degraded_read(location, offset, out, std::move(done), trace);
+    return;
+  }
+  struct FastRead {
+    std::size_t pending = 0;
+    bool failed = false;
+    DoneCallback done;
+  };
+  auto st = std::make_shared<FastRead>();
+  st->pending = segs.size();
+  st->done = std::move(done);
+  for (const auto& seg : segs) {
+    rdmc_.read(
+        {seg.replica}, seg.off, seg.dst,
+        [this, st, location, offset, out, trace](const Status& s) {
+          if (!s.ok()) st->failed = true;
+          if (--st->pending != 0) return;
+          if (!st->failed) {
+            st->done(Status::Ok());
+            return;
+          }
+          ec_degraded_read(location, offset, out, std::move(st->done),
+                           trace);
+        },
+        trace);
+  }
+}
+
+void NodeService::ec_degraded_read(mem::EntryLocation location,
+                                   std::uint64_t offset,
+                                   std::span<std::byte> out,
+                                   DoneCallback done, net::TraceId trace) {
+  const std::size_t k = location.ec_k;
+  const std::size_t total = k + location.ec_r;
+  const std::size_t shard_len =
+      ec::RsCodec::shard_size(location.stored_size, k);
+  struct Degraded {
+    NodeService* self = nullptr;
+    mem::EntryLocation loc;
+    std::vector<std::vector<std::byte>> shards;
+    std::size_t pending = 0;
+    std::uint64_t offset = 0;
+    std::span<std::byte> out;
+    DoneCallback done;
+    net::TraceId trace = net::kNoTrace;
+  };
+  auto st = std::make_shared<Degraded>();
+  st->self = this;
+  st->loc = std::move(location);
+  st->shards.assign(total, {});
+  st->offset = offset;
+  st->out = out;
+  st->done = std::move(done);
+  st->trace = trace;
+  auto finish = [st]() {
+    auto data = st->self->ec_decode_shards(st->loc, st->shards);
+    if (!data.ok()) {
+      st->done(data.status());
+      return;
+    }
+    const SimTime cost =
+        st->self->config_.ec_decode_cost.cost(st->loc.stored_size);
+    st->self->metrics_.histogram("ec.decode_ns")
+        .record(static_cast<std::uint64_t>(cost));
+    ++st->self->metrics_.counter("ec.degraded_reads");
+    std::uint64_t span = 0;
+    const bool have_span = st->self->spans_ != nullptr;
+    if (have_span)
+      // dm-lint: allow(span-unclosed) — closed when the decode delay ends.
+      span = st->self->spans_->begin_span(st->trace, st->self->node_.id(),
+                                          "ec", "ec.decode");
+    std::copy_n(data->data() + st->offset, st->out.size(), st->out.data());
+    st->self->node_.simulator().schedule_after(
+        cost, [st, span, have_span]() {
+          if (have_span && st->self->spans_ != nullptr)
+            st->self->spans_->end_span(span);
+          st->done(Status::Ok());
+        });
+  };
+  // Pull every surviving shard in full, in parallel; failures just leave
+  // their slot empty and the decode proceeds from whatever >= k arrive.
+  std::size_t launched = 0;
+  for (const auto& replica : st->loc.replicas)
+    if (replica.shard < total) ++launched;
+  if (launched == 0) {
+    node_.simulator().schedule_after(0, [st]() {
+      st->done(DataLossError("ec entry has no surviving shards"));
+    });
+    return;
+  }
+  st->pending = launched;
+  for (const auto& replica : st->loc.replicas) {
+    if (replica.shard >= total) continue;
+    st->shards[replica.shard].resize(shard_len);
+    rdmc_.read(
+        {replica}, 0, st->shards[replica.shard],
+        [st, shard = replica.shard, finish](const Status& s) {
+          if (!s.ok()) st->shards[shard].clear();
+          if (--st->pending == 0) finish();
+        },
+        trace);
+  }
 }
 
 void NodeService::put_device(cluster::ServerId server, mem::EntryId entry,
@@ -352,6 +642,43 @@ void NodeService::spill_one(std::function<void(bool)> done) {
     done(false);
     return;
   }
+  if (rdmc_.config().ec_k > 0) {
+    // EC mode: stripe the spilled entry instead of replicating it, with
+    // the same stale re-check before committing.
+    ec_store(
+        owner, entry, *bytes,
+        [this, owner, entry, bytes, old = *old_loc,
+         done = std::move(done)](StatusOr<mem::EntryLocation> ec_loc) mutable {
+          if (!ec_loc.ok()) {
+            ++metrics_.counter("ldms.spill_failed");
+            done(false);
+            return;
+          }
+          Ldmc* live_client = client(owner);
+          auto current = live_client != nullptr
+                             ? live_client->map().lookup(entry)
+                             : NotFoundError("owner gone");
+          if (!current.ok() || current->tier != mem::Tier::kSharedMemory) {
+            rdmc_.free_replicas(std::move(ec_loc->replicas));
+            ++metrics_.counter("ldms.spill_stale");
+            done(node_.shm().contains(owner, entry) ? false : true);
+            return;
+          }
+          mem::EntryLocation loc = old;
+          loc.tier = mem::Tier::kRemote;
+          loc.replicas = std::move(ec_loc->replicas);
+          loc.ec_k = ec_loc->ec_k;
+          loc.ec_r = ec_loc->ec_r;
+          loc.shard_checksums = std::move(ec_loc->shard_checksums);
+          loc.degraded = ec_loc->degraded;
+          live_client->map().commit(entry, std::move(loc));
+          (void)node_.shm().remove(owner, entry);
+          ++metrics_.counter("ldms.spilled_to_remote");
+          done(true);
+        },
+        net::kNoTrace);
+    return;
+  }
   rdmc_.put(owner, entry, *bytes,
             [this, owner, entry, bytes, old = *old_loc,
              done = std::move(done)](
@@ -416,6 +743,10 @@ void NodeService::get_entry(cluster::ServerId server, mem::EntryId entry,
       return;
     }
     case mem::Tier::kRemote:
+      if (location.ec_k > 0) {
+        get_entry_ec(location, offset, out, std::move(done), trace);
+        return;
+      }
       rdmc_.read(location.replicas, offset, out, std::move(done), trace);
       return;
     case mem::Tier::kNvm:
@@ -529,6 +860,66 @@ void NodeService::migrate_entry(cluster::ServerId server, mem::EntryId entry,
   }
   if (old_replica.node == net::kInvalidNode) {
     ++metrics_.counter("ldms.migrate_stale");
+    return;
+  }
+  if (loc->ec_k > 0) {
+    // EC stripe: only the one shard hosted on `away_from` moves. Read it
+    // from the evicting node (still up — this is a drain, not a crash),
+    // restripe it onto a fresh node, then swap it into the committed set.
+    const std::size_t total =
+        static_cast<std::size_t>(loc->ec_k) + loc->ec_r;
+    const std::size_t shard_len =
+        ec::RsCodec::shard_size(loc->stored_size, loc->ec_k);
+    auto shard_bytes = std::make_shared<std::vector<std::byte>>(shard_len);
+    std::vector<net::NodeId> exclude;
+    for (const auto& replica : loc->replicas) exclude.push_back(replica.node);
+    const SimTime migrate_started = node_.simulator().now();
+    rdmc_.read(
+        {old_replica}, 0, *shard_bytes,
+        [this, server, entry, shard_bytes, survivors, old_replica, trace,
+         migrate_started, total, exclude = std::move(exclude),
+         base = *loc](const Status& s) mutable {
+          if (!s.ok()) {
+            ++metrics_.counter("ldms.migrate_read_failed");
+            return;
+          }
+          std::vector<Rdmc::ShardPayload> payload(1);
+          payload[0].shard = old_replica.shard;
+          payload[0].bytes = *shard_bytes;
+          rdmc_.put_shards(
+              server, entry, std::move(payload), /*min_needed=*/1,
+              [this, server, entry, survivors, old_replica, migrate_started,
+               total, base = std::move(base)](
+                  StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+                if (!fresh.ok()) {
+                  ++metrics_.counter("ldms.migrate_put_failed");
+                  return;
+                }
+                Ldmc* live_owner = client(server);
+                auto current = live_owner != nullptr
+                                   ? live_owner->map().lookup(entry)
+                                   : NotFoundError("owner gone");
+                if (!current.ok() ||
+                    current->tier != mem::Tier::kRemote) {
+                  rdmc_.free_replicas(*std::move(fresh));
+                  ++metrics_.counter("ldms.migrate_stale");
+                  return;
+                }
+                mem::EntryLocation updated = std::move(base);
+                updated.replicas = std::move(survivors);
+                for (auto& replica : *fresh)
+                  updated.replicas.push_back(replica);
+                updated.degraded = updated.replicas.size() < total;
+                live_owner->map().commit(entry, std::move(updated));
+                rdmc_.free_replicas({old_replica});
+                ++metrics_.counter("ldms.migrated_entries");
+                metrics_.histogram("cluster.migrate_ns")
+                    .record(static_cast<std::uint64_t>(
+                        node_.simulator().now() - migrate_started));
+              },
+              exclude, trace);
+        },
+        trace);
     return;
   }
   // Read the entry (prefer a surviving replica; the evicting node is still
@@ -701,6 +1092,27 @@ void NodeService::repair_after_node_down(net::NodeId dead) {
         if (replica.node != dead &&
             node_.fabric().node_up(replica.node))
           survivors.push_back(replica);
+      if (loc->ec_k > 0) {
+        // EC stripe: readable while >= k shards survive. Degrade the
+        // committed set so reads stop touching the dead host, then let
+        // repair_entry re-encode the lost shards onto fresh nodes.
+        const std::size_t total =
+            static_cast<std::size_t>(loc->ec_k) + loc->ec_r;
+        if (survivors.size() < loc->ec_k) {
+          ++data_loss_;
+          ++metrics_.counter("ldms.repair_data_loss");
+          continue;
+        }
+        mem::EntryLocation degraded = *loc;
+        degraded.replicas = std::move(survivors);
+        degraded.degraded = degraded.replicas.size() < total;
+        owner->map().commit(entry, degraded);
+        const auto server_id = server;
+        node_.simulator().schedule_after(0, [this, server_id, entry]() {
+          repair_entry(server_id, entry, [](const Status&) {});
+        });
+        continue;
+      }
       if (survivors.empty()) {
         ++data_loss_;
         ++metrics_.counter("ldms.repair_data_loss");
@@ -769,15 +1181,21 @@ void NodeService::invalidate_replicas_on(net::NodeId host) {
       std::vector<mem::RemoteReplica> survivors;
       for (const auto& replica : loc->replicas)
         if (replica.node != host) survivors.push_back(replica);
-      if (survivors.empty()) {
-        // The rebooted node held the only copy: genuine data loss.
+      // EC entries stay readable down to ec_k surviving shards; whole-copy
+      // replication down to a single replica. Below that floor the
+      // rebooted node held the last usable bytes: genuine data loss.
+      const std::size_t floor = loc->ec_k > 0 ? loc->ec_k : 1;
+      const std::size_t target =
+          loc->ec_k > 0 ? static_cast<std::size_t>(loc->ec_k) + loc->ec_r
+                        : config_.rdmc.replication;
+      if (survivors.size() < floor) {
         ++data_loss_;
         ++metrics_.counter("ldms.repair_data_loss");
         continue;
       }
       mem::EntryLocation updated = *loc;
       updated.replicas = std::move(survivors);
-      updated.degraded = updated.replicas.size() < config_.rdmc.replication;
+      updated.degraded = updated.replicas.size() < target;
       owner.map().commit(entry, std::move(updated));
       ++metrics_.counter("ldms.replicas_invalidated");
     }
@@ -798,6 +1216,73 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
     return;
   }
   const std::size_t factor = config_.rdmc.replication;
+
+  if (loc->tier == mem::Tier::kRemote && loc->ec_k > 0) {
+    repair_entry_ec(server, entry, *loc, std::move(done), trace);
+    return;
+  }
+
+  if ((loc->tier == mem::Tier::kDisk || loc->tier == mem::Tier::kNvm) &&
+      loc->degraded && rdmc_.config().ec_k > 0) {
+    // EC mode's disk-fallback re-promotion: read the device copy, stripe
+    // it, and release the extent — the EC analogue of the replicated
+    // promote path below.
+    auto bytes = std::make_shared<std::vector<std::byte>>(loc->stored_size);
+    get_entry(
+        server, entry, *loc, 0, *bytes,
+        [this, server, entry, bytes, old = *loc,
+         done = std::move(done), trace](const Status& s) mutable {
+          if (!s.ok()) {
+            ++metrics_.counter("ldms.repair_read_failed");
+            done(s);
+            return;
+          }
+          ec_store(
+              server, entry, *bytes,
+              [this, server, entry, bytes, old = std::move(old),
+               done = std::move(done)](
+                  StatusOr<mem::EntryLocation> ec_loc) mutable {
+                if (!ec_loc.ok()) {
+                  ++metrics_.counter("ldms.repair_put_failed");
+                  done(ec_loc.status());
+                  return;
+                }
+                Ldmc* live_owner = client(server);
+                auto current = live_owner != nullptr
+                                   ? live_owner->map().lookup(entry)
+                                   : NotFoundError("owner gone");
+                if (!current.ok() || current->tier != old.tier ||
+                    current->disk_offset != old.disk_offset) {
+                  rdmc_.free_replicas(std::move(ec_loc->replicas));
+                  ++metrics_.counter("ldms.repair_stale");
+                  done(Status::Ok());
+                  return;
+                }
+                const mem::Tier old_tier = old.tier;
+                const std::uint64_t extent = old.disk_offset;
+                mem::EntryLocation updated = std::move(old);
+                updated.tier = mem::Tier::kRemote;
+                updated.replicas = std::move(ec_loc->replicas);
+                updated.ec_k = ec_loc->ec_k;
+                updated.ec_r = ec_loc->ec_r;
+                updated.shard_checksums =
+                    std::move(ec_loc->shard_checksums);
+                updated.degraded = ec_loc->degraded;
+                updated.disk_offset = 0;
+                const std::uint32_t stored = updated.stored_size;
+                live_owner->map().commit(entry, std::move(updated));
+                if (old_tier == mem::Tier::kNvm)
+                  free_nvm(extent, stored);
+                else
+                  free_disk(extent, stored);
+                ++metrics_.counter("ldms.promoted_from_disk");
+                done(Status::Ok());
+              },
+              trace);
+        },
+        trace);
+    return;
+  }
 
   if (loc->tier == mem::Tier::kRemote) {
     // Prune replicas whose hosts are down, then top back up to the factor.
@@ -932,6 +1417,183 @@ void NodeService::repair_entry(cluster::ServerId server, mem::EntryId entry,
 
   // Healthy (or shm-resident) entry: nothing to repair.
   done(Status::Ok());
+}
+
+void NodeService::repair_entry_ec(cluster::ServerId server,
+                                  mem::EntryId entry,
+                                  const mem::EntryLocation& loc,
+                                  DoneCallback done, net::TraceId trace) {
+  const std::size_t k = loc.ec_k;
+  const std::size_t total = k + loc.ec_r;
+  std::vector<mem::RemoteReplica> survivors;
+  for (const auto& replica : loc.replicas)
+    if (node_.fabric().node_up(replica.node)) survivors.push_back(replica);
+  if (survivors.size() < k) {
+    ++data_loss_;
+    ++metrics_.counter("ldms.repair_data_loss");
+    done(DataLossError("fewer than k shards survive"));
+    return;
+  }
+  Ldmc* owner = client(server);
+  if (owner == nullptr) {
+    done(NotFoundError("unknown server"));
+    return;
+  }
+  mem::EntryLocation pruned = loc;
+  pruned.replicas = survivors;
+  pruned.degraded = survivors.size() < total;
+  if (pruned.replicas.size() != loc.replicas.size() ||
+      pruned.degraded != loc.degraded)
+    owner->map().commit(entry, pruned);
+  if (survivors.size() == total) {
+    done(Status::Ok());
+    return;
+  }
+
+  // Pull all surviving shards, reconstruct the lost ones, and stripe them
+  // onto fresh nodes. Partial success is fine (min_needed = 1): every
+  // landed shard strictly improves durability and the next scan retries.
+  const std::size_t shard_len = ec::RsCodec::shard_size(loc.stored_size, k);
+  struct EcRepair {
+    NodeService* self = nullptr;
+    cluster::ServerId server = 0;
+    mem::EntryId entry = 0;
+    mem::EntryLocation base;  // pruned committed state
+    std::vector<std::vector<std::byte>> shards;
+    std::size_t pending = 0;
+    DoneCallback done;
+    net::TraceId trace = net::kNoTrace;
+  };
+  auto st = std::make_shared<EcRepair>();
+  st->self = this;
+  st->server = server;
+  st->entry = entry;
+  st->base = std::move(pruned);
+  st->shards.assign(total, {});
+  st->done = std::move(done);
+  st->trace = trace;
+
+  auto reencode = [st, k, total, shard_len]() {
+    NodeService* self = st->self;
+    std::size_t present = 0;
+    // Same checksum gate as degraded reads: a corrupted surviving shard
+    // must not contaminate the rebuilt ones.
+    for (std::size_t i = 0; i < total; ++i) {
+      if (st->shards[i].empty()) continue;
+      if (i < st->base.shard_checksums.size() &&
+          fnv1a(st->shards[i]) != st->base.shard_checksums[i]) {
+        st->shards[i].clear();
+        ++self->metrics_.counter("ec.corrupt_shards");
+        continue;
+      }
+      ++present;
+    }
+    if (present < k) {
+      ++self->metrics_.counter("ldms.repair_read_failed");
+      st->done(DataLossError("fewer than k shards readable for repair"));
+      return;
+    }
+    auto rebuilt = st->shards;
+    Status rec = [&]() {
+      if (self->codec_ && self->codec_->k() == k &&
+          self->codec_->r() == total - k)
+        return self->codec_->reconstruct(rebuilt);
+      auto codec = ec::RsCodec::make(k, total - k);
+      if (!codec.ok()) return codec.status();
+      return codec->reconstruct(rebuilt);
+    }();
+    if (!rec.ok()) {
+      st->done(rec);
+      return;
+    }
+    // Reconstruction is a decode: charge the codec cost before fan-out.
+    const SimTime cost =
+        self->config_.ec_decode_cost.cost(st->base.stored_size);
+    self->metrics_.histogram("ec.decode_ns")
+        .record(static_cast<std::uint64_t>(cost));
+    std::vector<Rdmc::ShardPayload> missing;
+    for (std::size_t i = 0; i < total; ++i) {
+      bool held = false;
+      for (const auto& replica : st->base.replicas)
+        if (replica.shard == i) held = true;
+      if (held) continue;
+      Rdmc::ShardPayload payload;
+      payload.shard = static_cast<std::uint32_t>(i);
+      payload.bytes = std::move(rebuilt[i]);
+      missing.push_back(std::move(payload));
+    }
+    if (missing.empty()) {
+      st->done(Status::Ok());
+      return;
+    }
+    std::vector<net::NodeId> exclude;
+    for (const auto& replica : st->base.replicas)
+      exclude.push_back(replica.node);
+    self->node_.simulator().schedule_after(
+        cost, [st, total, missing = std::move(missing),
+               exclude = std::move(exclude)]() mutable {
+          st->self->rdmc_.put_shards(
+              st->server, st->entry, std::move(missing), /*min_needed=*/1,
+              [st, total](
+                  StatusOr<std::vector<mem::RemoteReplica>> fresh) mutable {
+                NodeService* svc = st->self;
+                if (!fresh.ok()) {
+                  ++svc->metrics_.counter("ldms.repair_put_failed");
+                  st->done(fresh.status());
+                  return;
+                }
+                Ldmc* live_owner = svc->client(st->server);
+                // Stale re-check: never resurrect a removed or relocated
+                // entry with freshly-minted shards.
+                auto current = live_owner != nullptr
+                                   ? live_owner->map().lookup(st->entry)
+                                   : NotFoundError("owner gone");
+                if (!current.ok() ||
+                    current->tier != mem::Tier::kRemote ||
+                    current->ec_k != st->base.ec_k) {
+                  svc->rdmc_.free_replicas(*std::move(fresh));
+                  ++svc->metrics_.counter("ldms.repair_stale");
+                  st->done(Status::Ok());
+                  return;
+                }
+                // Merge by shard index against the *current* committed set
+                // (a concurrent repair/migration may have added shards):
+                // the surviving-shard count never decreases, duplicates
+                // are freed.
+                mem::EntryLocation updated = *std::move(current);
+                std::size_t appended = 0;
+                for (auto& replica : *fresh) {
+                  bool duplicate = false;
+                  for (const auto& held : updated.replicas)
+                    if (held.shard == replica.shard) duplicate = true;
+                  if (duplicate) {
+                    svc->rdmc_.free_replicas({replica});
+                    continue;
+                  }
+                  updated.replicas.push_back(replica);
+                  ++appended;
+                }
+                updated.degraded = updated.replicas.size() < total;
+                live_owner->map().commit(st->entry, std::move(updated));
+                svc->metrics_.counter("ec.shards_repaired") += appended;
+                ++svc->metrics_.counter("ldms.repaired_entries");
+                st->done(Status::Ok());
+              },
+              exclude, st->trace);
+        });
+  };
+
+  st->pending = st->base.replicas.size();
+  for (const auto& replica : st->base.replicas) {
+    st->shards[replica.shard].resize(shard_len);
+    rdmc_.read(
+        {replica}, 0, st->shards[replica.shard],
+        [st, shard = replica.shard, reencode](const Status& s) {
+          if (!s.ok()) st->shards[shard].clear();
+          if (--st->pending == 0) reencode();
+        },
+        trace);
+  }
 }
 
 // ---- pressure accounting (§I imbalance signal) -------------------------------

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "cluster/node.h"
 #include "common/metrics.h"
@@ -30,8 +31,10 @@
 #include "common/units.h"
 #include "core/rdmc.h"
 #include "core/rdms.h"
+#include "ec/rs_codec.h"
 #include "mem/memory_map.h"
 #include "net/wire.h"
+#include "sim/latency_model.h"
 #include "sim/span_sink.h"
 
 namespace dm::core {
@@ -81,6 +84,13 @@ class NodeService {
     // puts + non-shm gets) is counted. The last full window's count is
     // what heartbeats advertise and load-aware placement discounts by.
     SimTime pressure_window = 1 * kSecond;
+    // Virtual-time CPU cost of the Reed–Solomon codec when rdmc.ec_k > 0
+    // (Hydra-style EC). The codec itself is pure computation, so its cost
+    // is modeled as latency here: encode on every remote put, decode on
+    // degraded reads and shard reconstruction. Defaults approximate a
+    // table-driven GF(2^8) software codec on one core.
+    sim::CostModel ec_encode_cost{2000, 4.0};
+    sim::CostModel ec_decode_cost{3000, 3.0};
   };
 
   using PutCallback = std::function<void(StatusOr<mem::EntryLocation>)>;
@@ -191,6 +201,41 @@ class NodeService {
   void put_remote(cluster::ServerId server, mem::EntryId entry,
                   std::span<const std::byte> data, bool allow_disk,
                   PutCallback done, net::TraceId trace = net::kNoTrace);
+  // --- erasure-coded remote tier (Hydra-style, active when rdmc.ec_k > 0) ---
+  // Encodes `data` into k+r shards, stripes them across distinct nodes,
+  // and reports the complete remote EntryLocation (ec fields, per-shard
+  // checksums, surviving shard set, degraded flag). Callers merge it into
+  // their committed entry; shared by the put, spill, and re-promotion
+  // paths.
+  void ec_store(cluster::ServerId server, mem::EntryId entry,
+                std::span<const std::byte> data,
+                std::function<void(StatusOr<mem::EntryLocation>)> done,
+                net::TraceId trace);
+  void put_remote_ec(cluster::ServerId server, mem::EntryId entry,
+                     std::span<const std::byte> data, bool allow_disk,
+                     PutCallback done, net::TraceId trace);
+  // Range read over an EC stripe: direct one-sided reads of the covering
+  // data shards when they all survive; otherwise reconstructs from any k
+  // surviving shards (the degraded-read path).
+  void get_entry_ec(const mem::EntryLocation& location, std::uint64_t offset,
+                    std::span<std::byte> out, DoneCallback done,
+                    net::TraceId trace);
+  void ec_degraded_read(mem::EntryLocation location, std::uint64_t offset,
+                        std::span<std::byte> out, DoneCallback done,
+                        net::TraceId trace);
+  // Re-encodes the shards lost to crashed hosts onto fresh nodes ("min
+  // surviving shards" repair). Merges by shard index against the *current*
+  // committed replica set, so a concurrent repair or migration never loses
+  // shards, and preserves the stale re-check.
+  void repair_entry_ec(cluster::ServerId server, mem::EntryId entry,
+                       const mem::EntryLocation& loc, DoneCallback done,
+                       net::TraceId trace);
+  // Decodes an EC payload from fully-read shards (checksum-gated), or
+  // returns the codec error. Uses the cached codec when the stripe shape
+  // matches the node config, else builds a matching one.
+  [[nodiscard]] StatusOr<std::vector<std::byte>> ec_decode_shards(
+      const mem::EntryLocation& loc,
+      std::vector<std::vector<std::byte>>& shards);
   // Device tiers: NVM when present (and then disk on failure), else disk.
   void put_device(cluster::ServerId server, mem::EntryId entry,
                   std::span<const std::byte> data, PutCallback done,
@@ -230,6 +275,9 @@ class NodeService {
   Config config_;
   Rdms rdms_;
   Rdmc rdmc_;
+  // Reed–Solomon codec matching Config::rdmc.{ec_k, ec_r}; engaged only
+  // when EC mode is on (nullopt otherwise, or if the shape is invalid).
+  std::optional<ec::RsCodec> codec_;
   MetricsRegistry metrics_;
   sim::SpanSink* spans_ = nullptr;
   // Ordered: repair and eviction scans iterate these and issue RPCs, so

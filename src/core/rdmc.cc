@@ -187,6 +187,178 @@ void Rdmc::put(cluster::ServerId server, mem::EntryId entry,
   ++node_.recv_pool().metrics().counter("rdmc.puts");
 }
 
+void Rdmc::put_shards(cluster::ServerId server, mem::EntryId entry,
+                      std::vector<ShardPayload> shards,
+                      std::size_t min_needed, PutCallback done,
+                      std::span<const net::NodeId> exclude,
+                      net::TraceId trace) {
+  if (!candidates_) {
+    done(FailedPreconditionError("no candidates provider bound"));
+    return;
+  }
+  if (shards.empty()) {
+    done(InvalidArgumentError("put_shards: empty shard set"));
+    return;
+  }
+  if (min_needed == 0 || min_needed > shards.size())
+    min_needed = shards.size();
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  const SimTime started = node_.simulator().now();
+  done = [this, started, inner = std::move(done)](
+             StatusOr<std::vector<mem::RemoteReplica>> result) {
+    node_.recv_pool().metrics().histogram("rdmc.put_ns")
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(std::move(result));
+  };
+  auto candidates = candidates_();
+  std::erase_if(candidates, [&](const cluster::CandidateNode& c) {
+    if (c.node == node_.id()) return true;
+    return std::find(exclude.begin(), exclude.end(), c.node) != exclude.end();
+  });
+  const std::size_t shard_bytes = shards.front().bytes.size();
+  auto targets = policy_->pick_recorded(candidates, shards.size(),
+                                        shard_bytes, node_.rng(),
+                                        &node_.recv_pool().metrics());
+  // Short placement sheds shards from the back (parity-last ordering)
+  // down to the floor — the EC analogue of put()'s degraded retry.
+  std::size_t want = shards.size();
+  while (!targets.ok() && want > min_needed) {
+    --want;
+    targets = policy_->pick_recorded(candidates, want, shard_bytes,
+                                     node_.rng(),
+                                     &node_.recv_pool().metrics());
+  }
+  if (!targets.ok()) {
+    ++node_.recv_pool().metrics().counter("rdmc.put_no_candidates");
+    done(targets.status());
+    return;
+  }
+  if (targets->size() < shards.size())
+    ++node_.recv_pool().metrics().counter("rdmc.put_short_placement");
+
+  struct ShardTx {
+    std::vector<ShardPayload> shards;
+    std::vector<mem::RemoteReplica> replicas;
+    std::size_t pending = 0;
+    std::size_t min_needed = 0;
+    bool failed = false;
+    Status first_error;
+    PutCallback done;
+  };
+  auto tx = std::make_shared<ShardTx>();
+  tx->shards = std::move(shards);
+  tx->pending = targets->size();
+  tx->min_needed = min_needed;
+  tx->done = std::move(done);
+
+  auto finish_allocs = [this, tx, trace]() {
+    if (tx->failed && tx->replicas.size() < tx->min_needed) {
+      free_replicas(std::move(tx->replicas), {}, trace);
+      tx->done(tx->first_error);
+      return;
+    }
+    if (tx->failed)
+      ++node_.recv_pool().metrics().counter("rdmc.put_degraded_alloc");
+    tx->failed = false;
+    tx->first_error = Status::Ok();
+    tx->pending = tx->replicas.size();
+    auto written = std::make_shared<std::vector<mem::RemoteReplica>>();
+    auto lost = std::make_shared<std::vector<mem::RemoteReplica>>();
+    auto settle_writes = [this, tx, written, lost, trace]() {
+      if (written->size() >= tx->min_needed) {
+        if (!lost->empty()) {
+          ++node_.recv_pool().metrics().counter("rdmc.put_degraded_write");
+          free_replicas(std::move(*lost), {}, trace);
+        }
+        tx->done(std::move(*written));
+      } else {
+        free_replicas(std::move(tx->replicas), {}, trace);
+        tx->done(tx->first_error.ok()
+                     ? UnavailableError("shard writes failed")
+                     : tx->first_error);
+      }
+    };
+    for (const auto& replica : tx->replicas) {
+      // Each replica carries its own shard's bytes (unlike put(), where
+      // every target receives the full payload).
+      const ShardPayload* payload = nullptr;
+      for (const auto& s : tx->shards)
+        if (s.shard == replica.shard) payload = &s;
+      auto qp = node_.connections().ensure_data_channel(node_.id(),
+                                                        replica.node);
+      Status posted =
+          !qp.ok() ? qp.status()
+                   : (*qp)->post_write(
+                         replica.rkey, replica.offset, payload->bytes,
+                         [tx, replica, written, lost,
+                          settle_writes](const net::Completion& c) {
+                           if (c.status.ok()) {
+                             written->push_back(replica);
+                           } else {
+                             lost->push_back(replica);
+                             if (tx->first_error.ok())
+                               tx->first_error = c.status;
+                           }
+                           if (--tx->pending == 0) settle_writes();
+                         },
+                         trace);
+      if (!posted.ok()) {
+        lost->push_back(replica);
+        if (tx->first_error.ok()) tx->first_error = posted;
+        if (--tx->pending == 0) settle_writes();
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < targets->size(); ++i) {
+    const net::NodeId target = (*targets)[i];
+    const std::uint32_t shard_id = tx->shards[i].shard;
+    const std::size_t size = tx->shards[i].bytes.size();
+    Status channel = node_.connections().ensure_control_channel(node_.id(),
+                                                                target);
+    if (!channel.ok()) {
+      if (!tx->failed) {
+        tx->failed = true;
+        tx->first_error = channel;
+      }
+      if (--tx->pending == 0) finish_allocs();
+      continue;
+    }
+    net::WireWriter w;
+    w.put_u32(node_.id());
+    w.put_u32(server);
+    w.put_u64(entry);
+    w.put_u32(static_cast<std::uint32_t>(size));
+    node_.rpc().call(
+        target, kRpcAllocBlock, std::move(w).take(), config_.rpc_timeout,
+        [tx, target, shard_id,
+         finish_allocs](StatusOr<std::vector<std::byte>> resp) {
+          if (resp.ok()) {
+            net::WireReader r(*resp);
+            mem::RemoteReplica replica;
+            replica.node = target;
+            replica.slab = r.u32();
+            replica.rkey = r.u64();
+            replica.offset = r.u64();
+            replica.block_size = r.u32();
+            replica.shard = shard_id;
+            if (r.ok()) {
+              tx->replicas.push_back(replica);
+            } else if (!tx->failed) {
+              tx->failed = true;
+              tx->first_error = r.status();
+            }
+          } else if (!tx->failed) {
+            tx->failed = true;
+            tx->first_error = resp.status();
+          }
+          if (--tx->pending == 0) finish_allocs();
+        },
+        trace);
+  }
+  ++node_.recv_pool().metrics().counter("rdmc.puts");
+}
+
 void Rdmc::read(const std::vector<mem::RemoteReplica>& replicas,
                 std::uint64_t range_offset, std::span<std::byte> out,
                 ReadCallback done, net::TraceId trace) {

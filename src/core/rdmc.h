@@ -38,6 +38,19 @@ class Rdmc {
     // set; the repair service tops it up later. 0 = strict all-or-nothing
     // (the historical §IV.D transaction).
     std::size_t min_replicas = 0;
+    // Erasure coding (Hydra-style, §IV.D alternative): when ec_k > 0 the
+    // LDMS stores each remote entry as ec_k data + ec_r parity shards,
+    // one per node, via put_shards() instead of whole-copy replication —
+    // ~(ec_k+ec_r)/ec_k memory overhead instead of replication's factor.
+    // The entry survives any ec_r shard losses; degraded reads
+    // reconstruct from the surviving >= ec_k shards.
+    std::size_t ec_k = 0;
+    std::size_t ec_r = 0;
+    // Degraded floor for shard placement, the EC analogue of
+    // min_replicas: a put that cannot stripe all ec_k+ec_r shards still
+    // succeeds once this many landed (clamped to >= ec_k, since fewer
+    // could never be read back). 0 = all shards required.
+    std::size_t min_shards = 0;
     cluster::PlacementPolicyKind placement =
         cluster::PlacementPolicyKind::kPowerOfTwoChoices;
     SimTime rpc_timeout = 5 * kMilli;
@@ -69,6 +82,26 @@ class Rdmc {
            std::span<const std::byte> data, PutCallback done,
            std::span<const net::NodeId> exclude = {}, std::size_t count = 0,
            net::TraceId trace = net::kNoTrace);
+
+  // One erasure-coded shard bound for its own node.
+  struct ShardPayload {
+    std::uint32_t shard = 0;  // index within the (k, r) stripe
+    std::vector<std::byte> bytes;
+  };
+
+  // Erasure-coded put: stripes the given shards across distinct nodes (one
+  // shard per node, same two-phase reserve/write transaction as put()).
+  // Succeeds once >= min_needed shards are written — the survivors, with
+  // RemoteReplica::shard identifying each — and rolls everything back
+  // below that. When placement comes up short, shards are dropped from the
+  // *back* of the vector down to min_needed, so callers order them
+  // data-first/parity-last to shed parity before data. Repair paths call
+  // this with just the missing shards (min_needed = 1) to top up a
+  // degraded stripe.
+  void put_shards(cluster::ServerId server, mem::EntryId entry,
+                  std::vector<ShardPayload> shards, std::size_t min_needed,
+                  PutCallback done, std::span<const net::NodeId> exclude = {},
+                  net::TraceId trace = net::kNoTrace);
 
   // Reads out.size() bytes at `range_offset` within the entry, failing over
   // across replicas in order.

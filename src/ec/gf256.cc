@@ -1,0 +1,75 @@
+#include "ec/gf256.h"
+
+namespace dm::ec {
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+  Tables() {
+    std::uint16_t x = 1;
+    for (std::size_t i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    // Mirror so exp[log[a] + log[b]] never needs a mod-255 reduction
+    // (log sums reach at most 508).
+    for (std::size_t i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 512>& gf_exp_table() noexcept {
+  return tables().exp;
+}
+
+const std::array<std::uint8_t, 256>& gf_log_table() noexcept {
+  return tables().log;
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) noexcept {
+  const auto& t = tables();
+  return t.exp[255 - static_cast<std::size_t>(t.log[a])];
+}
+
+std::uint8_t gf_pow(std::uint8_t a, std::size_t n) noexcept {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const std::size_t e = (static_cast<std::size_t>(t.log[a]) * n) % 255;
+  return t.exp[e];
+}
+
+void gf_mul_add(std::uint8_t coeff, const std::uint8_t* in, std::uint8_t* out,
+                std::size_t len) noexcept {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < len; ++i) out[i] ^= in[i];
+    return;
+  }
+  // Per-coefficient 256-entry product table: one table build amortized
+  // over the whole shard keeps the inner loop to a single lookup + xor.
+  const auto& t = tables();
+  const std::size_t lc = t.log[coeff];
+  std::uint8_t row[256];
+  row[0] = 0;
+  for (std::size_t b = 1; b < 256; ++b)
+    row[b] = t.exp[lc + t.log[static_cast<std::uint8_t>(b)]];
+  for (std::size_t i = 0; i < len; ++i) out[i] ^= row[in[i]];
+}
+
+}  // namespace dm::ec

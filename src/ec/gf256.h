@@ -1,0 +1,45 @@
+// GF(2^8) arithmetic for the Reed–Solomon codec (Hydra-style resilience).
+//
+// The field is GF(2^8) with the AES-adjacent reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for storage
+// erasure codes. Multiplication and division go through precomputed log/exp
+// tables built once at first use from pure integer math — no floating
+// point, no randomness, no global constructors with observable order — so
+// every operation is deterministic and byte-identical across runs and
+// platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dm::ec {
+
+// 0..255 exponentials of the generator 2 (exp[i] = 2^i mod 0x11d), doubled
+// to 512 entries so gf_mul can skip the mod-255 reduction of the log sum.
+const std::array<std::uint8_t, 512>& gf_exp_table() noexcept;
+// Discrete logs base 2; log[0] is unused (0 has no log).
+const std::array<std::uint8_t, 256>& gf_log_table() noexcept;
+
+[[nodiscard]] inline std::uint8_t gf_mul(std::uint8_t a,
+                                         std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto& log = gf_log_table();
+  return gf_exp_table()[static_cast<std::size_t>(log[a]) + log[b]];
+}
+
+// b must be non-zero (division by zero is a programming error; callers
+// guard pivots before dividing).
+[[nodiscard]] std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) noexcept;
+
+// Multiplicative inverse; a must be non-zero.
+[[nodiscard]] std::uint8_t gf_inv(std::uint8_t a) noexcept;
+
+// a^n for n >= 0 (a^0 == 1, including 0^0 by convention).
+[[nodiscard]] std::uint8_t gf_pow(std::uint8_t a, std::size_t n) noexcept;
+
+// out[i] ^= coeff * in[i] over `len` bytes — the inner loop of both encode
+// and reconstruct (XOR is GF(2^8) addition).
+void gf_mul_add(std::uint8_t coeff, const std::uint8_t* in, std::uint8_t* out,
+                std::size_t len) noexcept;
+
+}  // namespace dm::ec

@@ -62,8 +62,15 @@ std::vector<EntryId> MemoryMap::repair_candidates(
   std::vector<EntryId> out;
   for (const auto& shard : shards_) {
     for (const auto& [id, loc] : shard) {
+      // Erasure-coded entries carry their own target ("min surviving
+      // shards" generalizes min_replicas): all k+r shards placed. Plain
+      // replication keeps the caller-supplied factor.
+      const std::size_t target =
+          loc.ec_k > 0
+              ? static_cast<std::size_t>(loc.ec_k) + loc.ec_r
+              : replication;
       const bool under_replicated =
-          loc.tier == Tier::kRemote && loc.replicas.size() < replication;
+          loc.tier == Tier::kRemote && loc.replicas.size() < target;
       if (under_replicated || loc.degraded) out.push_back(id);
     }
   }
@@ -78,8 +85,10 @@ std::uint64_t MemoryMap::approx_bytes() const noexcept {
     bytes += shard.bucket_count() * sizeof(void*);
     bytes += shard.size() *
              (sizeof(EntryId) + sizeof(EntryLocation) + 2 * sizeof(void*));
-    for (const auto& [id, loc] : shard)
+    for (const auto& [id, loc] : shard) {
       bytes += loc.replicas.capacity() * sizeof(RemoteReplica);
+      bytes += loc.shard_checksums.capacity() * sizeof(std::uint64_t);
+    }
   }
   return bytes;
 }

@@ -51,6 +51,10 @@ struct RemoteReplica {
   std::uint64_t offset = 0;     // offset within the registered slab
   std::uint32_t slab = 0;       // host-side slab id (needed to free)
   std::uint32_t block_size = 0; // size class of the hosting block
+  // Erasure-coded entries: which of the k+r shards this block holds.
+  // Whole-copy replication leaves it 0 (every replica is shard 0, the
+  // full payload).
+  std::uint32_t shard = 0;
 
   friend bool operator==(const RemoteReplica&, const RemoteReplica&) = default;
 };
@@ -69,6 +73,16 @@ struct EntryLocation {
   // unreachable. The background repair service revisits degraded entries
   // and clears the flag once the intended placement is restored.
   bool degraded = false;
+  // Erasure coding (Hydra-style): when ec_k > 0 the entry is stored as
+  // ec_k data + ec_r parity shards, one per replica slot, and `replicas`
+  // holds the surviving shard set (identified by RemoteReplica::shard)
+  // rather than whole copies. Missing shards are simply absent; the entry
+  // stays readable while >= ec_k shards survive.
+  std::uint8_t ec_k = 0;
+  std::uint8_t ec_r = 0;
+  // fnv1a per stored shard (index-aligned with shard ids, size ec_k+ec_r)
+  // so degraded reads can reject corrupted shards before decoding.
+  std::vector<std::uint64_t> shard_checksums;
   std::vector<RemoteReplica> replicas;  // valid when tier == kRemote
 };
 

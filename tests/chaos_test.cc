@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -424,6 +425,209 @@ TEST(ChaosSwapSoakTest, SameSeedSwapSoakIsByteIdentical) {
   EXPECT_EQ(a.swap_outs, b.swap_outs);
   EXPECT_EQ(a.transient_fault_failures, b.transient_fault_failures);
   EXPECT_EQ(a.metrics_hash, b.metrics_hash);
+}
+
+// --- erasure-coded chaos soak (Hydra-style resilience under fire) -----------
+//
+// The same Poisson crash storm + partition + latency/loss windows as the
+// replication soak, but every remote put is striped (k=2, r=2) across four
+// distinct nodes instead of copied. The can_crash guard enforces the
+// EC-survivable discipline — never take a node down if any stripe would drop
+// below k live shard hosts — so the acceptance bar is absolute: zero data
+// loss (every acknowledged key byte-exact after the heal, reconstructed
+// through the degraded path where needed), every stripe re-encoded back to
+// k+r shards, and the whole run byte-identical under the same seed.
+
+struct EcSoakResult {
+  std::string metrics_json;
+  std::uint64_t crashes = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t shards_repaired = 0;
+  std::uint64_t transient_read_failures = 0;
+  std::size_t keys = 0;
+  bool all_reads_served = false;
+  bool data_intact = false;
+  bool stripes_restored = false;
+};
+
+EcSoakResult run_ec_soak(std::uint64_t seed) {
+  constexpr std::size_t kEcK = 2;
+  constexpr std::size_t kEcR = 2;
+  DmSystem::Config config;
+  config.node_count = 7;
+  config.seed = seed;
+  config.node.shm.arena_bytes = 2 * MiB;
+  config.node.recv.arena_bytes = 16 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.ec_k = kEcK;
+  config.service.rdmc.ec_r = kEcR;
+  config.service.rdmc.min_shards = kEcK;  // degraded short stripes allowed
+  config.rpc_retry.max_attempts = 3;
+  config.rpc_retry.base_backoff = 500 * kMicro;
+  config.rpc_retry.max_backoff = 2 * kMilli;
+  config.connect_backoff.max_attempts = 3;
+  config.connect_backoff.base_backoff = 1 * kMilli;
+  config.connect_backoff.max_backoff = 8 * kMilli;
+  config.repair.enabled = true;
+  config.repair.scan_period = 100 * kMilli;
+  config.repair.max_repairs_per_scan = 64;
+  DmSystem system(config);
+  system.start();
+
+  LdmcOptions options;
+  options.shm_fraction = 0.2;
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  sim::ChaosSchedule::Hooks hooks;
+  hooks.crash_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.crash_node(n);
+  };
+  hooks.recover_node = [&](sim::ChaosSchedule::NodeRef n) {
+    system.recover_node(n);
+  };
+  hooks.set_link_up = [&](sim::ChaosSchedule::NodeRef a,
+                          sim::ChaosSchedule::NodeRef b, bool up) {
+    system.fabric().set_link_up(a, b, up);
+  };
+  hooks.set_latency_scale = [&](double scale) {
+    system.fabric().set_latency_scale(scale);
+  };
+  hooks.set_message_loss = [&](double p) {
+    system.fabric().set_message_loss(p);
+  };
+  // EC-survivable discipline: a crash is vetoed if any stripe would be left
+  // with fewer than k live shard hosts (counting the victim as down).
+  hooks.can_crash = [&](sim::ChaosSchedule::NodeRef victim) {
+    bool safe = true;
+    client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+      if (loc.tier != mem::Tier::kRemote || loc.ec_k == 0) return;
+      std::size_t live = 0;
+      for (const auto& r : loc.replicas)
+        if (r.node != victim && system.fabric().node_up(r.node)) ++live;
+      if (live < loc.ec_k) safe = false;
+    });
+    return safe;
+  };
+
+  sim::ChaosSchedule chaos(system.failures(), hooks);
+  Rng chaos_rng(seed ^ 0xec5704);
+  const SimTime storm_start = system.simulator().now() + 100 * kMilli;
+  chaos.poisson_crash_storm(chaos_rng, storm_start,
+                            storm_start + 3 * kSecond,
+                            /*mean_interval=*/400 * kMilli,
+                            /*outage=*/150 * kMilli, {1, 2, 3, 4, 5, 6});
+  chaos.partition(storm_start + 1200 * kMilli, {0}, {1, 2, 3, 4, 5, 6},
+                  60 * kMilli);
+  chaos.latency_spike(storm_start + 1800 * kMilli, 4.0, 100 * kMilli);
+  chaos.packet_loss(storm_start + 2200 * kMilli, 0.05, 100 * kMilli);
+
+  Rng workload_rng(seed ^ 0x7a3);
+  std::map<mem::EntryId, std::uint64_t> shadow;
+  mem::EntryId next_key = 1;
+  EcSoakResult result;
+  const SimTime soak_end = storm_start + 3500 * kMilli;
+  while (system.simulator().now() < soak_end) {
+    for (int i = 0; i < 2; ++i) {
+      const mem::EntryId key = next_key++;
+      if (client.put_sync(key, page_data(key)).ok()) shadow[key] = key;
+    }
+    for (int i = 0; i < 3 && !shadow.empty(); ++i) {
+      auto it = shadow.begin();
+      std::advance(it, workload_rng.next_below(shadow.size()));
+      std::vector<std::byte> out(4096);
+      if (!client.get_sync(it->first, out).ok())
+        ++result.transient_read_failures;
+    }
+    system.run_for(10 * kMilli);
+  }
+
+  system.run_for(15 * kSecond);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < system.node_count(); ++i) {
+      bool scanned = false;
+      system.repair(i).scan_tick([&]() { scanned = true; });
+      (void)system.simulator().run_until_flag(scanned);
+    }
+    system.run_for(500 * kMilli);
+  }
+
+  // Zero data loss: every acknowledged key readable, byte-exact — through
+  // reconstruction if its direct shards are still being repaired.
+  result.all_reads_served = true;
+  result.data_intact = true;
+  for (const auto& [key, content] : shadow) {
+    std::vector<std::byte> out(4096);
+    if (!client.get_sync(key, out).ok()) {
+      result.all_reads_served = false;
+      continue;
+    }
+    if (out != page_data(content)) result.data_intact = false;
+  }
+
+  // Every stripe back to k+r shards on distinct hosts, nothing degraded.
+  result.stripes_restored = true;
+  client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+    if (loc.degraded) result.stripes_restored = false;
+    if (loc.tier != mem::Tier::kRemote || loc.ec_k == 0) return;
+    if (loc.replicas.size() <
+        static_cast<std::size_t>(loc.ec_k) + loc.ec_r)
+      result.stripes_restored = false;
+    std::set<std::uint32_t> shards;
+    for (const auto& r : loc.replicas) shards.insert(r.shard);
+    if (shards.size() != loc.replicas.size()) result.stripes_restored = false;
+  });
+
+  result.keys = shadow.size();
+  result.crashes = chaos.crashes_fired();
+  result.skipped = chaos.skipped_crashes();
+  result.degraded_reads = system.total_counter("ec.degraded_reads");
+  result.shards_repaired = system.total_counter("ec.shards_repaired");
+  result.metrics_json = system.hub().snapshot_json();
+  return result;
+}
+
+TEST(ChaosEcSoakTest, EcCrashStormLosesNoAcknowledgedKey) {
+  const EcSoakResult r = run_ec_soak(2604);
+  std::printf("ec soak: crashes=%llu skipped=%llu keys=%zu "
+              "degraded_reads=%llu shards_repaired=%llu "
+              "transient_read_failures=%llu\n",
+              static_cast<unsigned long long>(r.crashes),
+              static_cast<unsigned long long>(r.skipped), r.keys,
+              static_cast<unsigned long long>(r.degraded_reads),
+              static_cast<unsigned long long>(r.shards_repaired),
+              static_cast<unsigned long long>(r.transient_read_failures));
+
+  // The storm actually happened, and the EC machinery actually fired.
+  EXPECT_GE(r.crashes, 3u);
+  EXPECT_GT(r.keys, 100u);
+  EXPECT_GE(r.degraded_reads, 1u) << "no reconstruction exercised";
+  EXPECT_GE(r.shards_repaired, 1u) << "no shard re-encoded onto fresh nodes";
+
+  // Absolute acceptance: zero loss, full stripes restored.
+  EXPECT_TRUE(r.all_reads_served);
+  EXPECT_TRUE(r.data_intact);
+  EXPECT_TRUE(r.stripes_restored);
+}
+
+TEST(ChaosEcSoakTest, SameSeedEcSoakIsByteIdentical) {
+  const EcSoakResult a = run_ec_soak(91);
+  const EcSoakResult b = run_ec_soak(91);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+  EXPECT_EQ(a.shards_repaired, b.shards_repaired);
+  EXPECT_EQ(a.transient_read_failures, b.transient_read_failures);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+
+  // CI hook (ci.sh --ec-only): dump the snapshot for the cross-process
+  // same-seed diff.
+  // dm-lint: allow(det-getenv) — CI artifact path only, never sim state.
+  if (const char* path = std::getenv("DM_EC_SNAPSHOT")) {
+    std::ofstream dump(path, std::ios::trunc);
+    ASSERT_TRUE(dump.is_open()) << path;
+    dump << a.metrics_json;
+  }
 }
 
 // --- flight-recorder soak (crash-time forensics) ----------------------------

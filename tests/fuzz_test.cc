@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -275,6 +276,95 @@ TEST(SystemPropertyFuzz, LiveKeysReadableAndReplicasBounded) {
   client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
     EXPECT_LE(loc.replicas.size(), replication);
   });
+}
+
+
+// Seeded EC fuzz: the same adversarial shape as the replication property
+// fuzz, but every remote put is a (k=2, r=1) stripe and node 2 flaps under
+// a Poisson schedule. Invariants:
+//   (1) no committed stripe ever exceeds k+r shards, and shard indices
+//       within a stripe are always unique;
+//   (2) once the cluster heals, every acknowledged key reads back
+//       byte-exact (through reconstruction where a shard is still absent).
+TEST(SystemPropertyFuzz, EcStripesBoundedAndKeysReadable) {
+  constexpr std::size_t kEcK = 2;
+  constexpr std::size_t kEcR = 1;
+  DmSystem::Config config;
+  config.node_count = 5;
+  config.node.shm.arena_bytes = 2 * MiB;
+  config.node.recv.arena_bytes = 8 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.ec_k = kEcK;
+  config.service.rdmc.ec_r = kEcR;
+  config.service.rdmc.min_shards = kEcK;
+  config.rpc_retry.max_attempts = 2;
+  config.repair.enabled = true;
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.3;
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  // Flap only node 2: the other hosts stay up, so every stripe keeps at
+  // least k live shards and remains readable throughout.
+  Rng flap_rng(31337);
+  bool node2_up = true;
+  system.failures().poisson(flap_rng, 0, 400 * kMilli, 40 * kMilli, [&]() {
+    node2_up = !node2_up;
+    if (node2_up)
+      system.recover_node(2);
+    else
+      system.crash_node(2);
+  });
+
+  Rng op_rng(0xEC);
+  std::map<mem::EntryId, std::uint64_t> shadow;
+  mem::EntryId next_key = 1;
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t dice = op_rng.next_below(10);
+    if (dice < 6 || shadow.empty()) {
+      const mem::EntryId key = next_key++;
+      if (client.put_sync(key, fuzz_page(key)).ok()) shadow[key] = key;
+    } else if (dice < 8) {
+      auto it = shadow.begin();
+      std::advance(it, op_rng.next_below(shadow.size()));
+      std::vector<std::byte> out(4096);
+      (void)client.get_sync(it->first, out);  // transient failures allowed
+    } else {
+      auto it = shadow.begin();
+      std::advance(it, op_rng.next_below(shadow.size()));
+      auto loc = client.map().lookup(it->first);
+      if (loc.ok() && loc->tier != mem::Tier::kRemote &&
+          client.remove_sync(it->first).ok())
+        shadow.erase(it);
+    }
+    // Invariant (1) holds at every step, not just at the end.
+    client.map().for_each([&](mem::EntryId, const mem::EntryLocation& loc) {
+      if (loc.tier != mem::Tier::kRemote || loc.ec_k == 0) return;
+      EXPECT_LE(loc.replicas.size(),
+                static_cast<std::size_t>(loc.ec_k) + loc.ec_r);
+      std::set<std::uint32_t> shards;
+      for (const auto& replica : loc.replicas) shards.insert(replica.shard);
+      EXPECT_EQ(shards.size(), loc.replicas.size());
+    });
+    system.run_for(10 * kMilli);
+  }
+
+  if (!node2_up) system.recover_node(2);
+  system.run_for(15 * kSecond);
+  for (int round = 0; round < 4; ++round) {
+    bool scanned = false;
+    system.repair(0).scan_tick([&]() { scanned = true; });
+    ASSERT_TRUE(system.simulator().run_until_flag(scanned));
+    system.run_for(500 * kMilli);
+  }
+
+  ASSERT_GT(shadow.size(), 10u);
+  for (const auto& [key, content] : shadow) {
+    std::vector<std::byte> out(4096);
+    ASSERT_TRUE(client.get_sync(key, out).ok()) << "key " << key;
+    EXPECT_EQ(out, fuzz_page(content)) << "key " << key;
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/dm_system.h"
+#include "core/node_service.h"
 #include "mem/buffer_pool.h"
 #include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
@@ -673,3 +674,141 @@ TEST(SwapModelTest, SameSeedReplaysAreByteIdentical) {
 
 }  // namespace
 }  // namespace dm::swap
+
+// --- erasure-coded stripe invariants (Hydra-style EC model checker) ----------
+//
+// A seeded op stream (EC puts, reads, guarded crashes/recoveries, repair
+// scans) runs against a live cluster while four invariants are re-checked
+// after every step:
+//   E1  every EC stripe carries unique shard indices, at most k+r of them;
+//   E2  any entry with >= k live shard hosts is readable, byte-exact —
+//       including through the degraded reconstruction path;
+//   E3  a repair scan never decreases any stripe's surviving-shard count;
+//   E4  degraded reads return bytes identical to the fault-free read
+//       (checked implicitly by E2's byte-exact comparison both before and
+//       after faults).
+namespace dm::core {
+namespace {
+
+std::vector<std::byte> ec_page(std::uint64_t id) {
+  std::vector<std::byte> bytes(4096);
+  workloads::fill_page(bytes, id, 0.5, 7);
+  return bytes;
+}
+
+TEST(EcModelTest, StripeInvariantsHoldOverRandomOps) {
+  constexpr std::size_t kEcK = 2;
+  constexpr std::size_t kEcR = 2;
+  DmSystem::Config config;
+  config.node_count = 8;
+  config.node.shm.arena_bytes = 4 * MiB;
+  config.node.recv.arena_bytes = 16 * MiB;
+  config.node.disk.capacity_bytes = 64 * MiB;
+  config.service.rdmc.ec_k = kEcK;
+  config.service.rdmc.ec_r = kEcR;
+  config.service.rdmc.min_shards = kEcK;
+  DmSystem system(config);
+  system.start();
+  LdmcOptions options;
+  options.shm_fraction = 0.0;
+  options.allow_disk = false;
+  auto& client = system.create_server(0, 64 * MiB, options);
+
+  Rng rng(20260809);
+  std::set<mem::EntryId> live_keys;
+  std::vector<std::size_t> down_nodes;
+  mem::EntryId next_key = 1;
+
+  auto live_shards = [&](const mem::EntryLocation& loc) {
+    std::size_t live = 0;
+    for (const auto& replica : loc.replicas)
+      if (system.fabric().node_up(replica.node)) ++live;
+    return live;
+  };
+  // E1 for every live key, plus the E2 readability/byte-exactness check.
+  auto check_stripes = [&]() {
+    for (mem::EntryId key : live_keys) {
+      auto loc = client.map().lookup(key);
+      ASSERT_TRUE(loc.ok()) << "key " << key;
+      if (loc->tier != mem::Tier::kRemote) continue;
+      ASSERT_EQ(loc->ec_k, kEcK);
+      std::set<std::uint32_t> shards;
+      for (const auto& replica : loc->replicas) {
+        EXPECT_LT(replica.shard, kEcK + kEcR);
+        shards.insert(replica.shard);
+      }
+      EXPECT_EQ(shards.size(), loc->replicas.size())
+          << "duplicate shard index on key " << key;
+      EXPECT_LE(loc->replicas.size(), kEcK + kEcR);
+      if (live_shards(*loc) >= kEcK) {
+        std::vector<std::byte> out(4096);
+        ASSERT_TRUE(client.get_sync(key, out).ok())
+            << "key " << key << " unreadable with >= k live shards";
+        EXPECT_EQ(out, ec_page(key)) << "key " << key;
+      }
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const std::size_t op = rng.next_below(10);
+    if (op < 4) {  // put a fresh key
+      const mem::EntryId key = next_key++;
+      if (client.put_sync(key, ec_page(key)).ok()) live_keys.insert(key);
+    } else if (op < 7 && !live_keys.empty()) {  // read a random key
+      auto it = live_keys.begin();
+      std::advance(it, rng.next_below(live_keys.size()));
+      std::vector<std::byte> out(4096);
+      if (client.get_sync(*it, out).ok()) {
+        EXPECT_EQ(out, ec_page(*it));
+      }
+    } else if (op == 7 && down_nodes.size() < kEcR) {  // guarded crash
+      const std::size_t victim = 1 + rng.next_below(7);
+      bool ok = system.fabric().node_up(system.node(victim).id());
+      client.map().for_each(
+          [&](mem::EntryId, const mem::EntryLocation& loc) {
+            if (loc.tier != mem::Tier::kRemote || loc.ec_k == 0) return;
+            std::size_t live = 0;
+            for (const auto& replica : loc.replicas)
+              if (replica.node != system.node(victim).id() &&
+                  system.fabric().node_up(replica.node))
+                ++live;
+            if (live < kEcK) ok = false;
+          });
+      if (ok) {
+        system.crash_node(victim);
+        down_nodes.push_back(victim);
+      }
+    } else if (op == 8 && !down_nodes.empty()) {  // recover
+      system.recover_node(down_nodes.back());
+      down_nodes.pop_back();
+    } else {  // repair scan; E3: surviving counts never decrease
+      std::map<mem::EntryId, std::size_t> before;
+      for (mem::EntryId key : live_keys) {
+        auto loc = client.map().lookup(key);
+        if (loc.ok() && loc->tier == mem::Tier::kRemote)
+          before[key] = live_shards(*loc);
+      }
+      bool scanned = false;
+      system.repair(0).scan_tick([&]() { scanned = true; });
+      ASSERT_TRUE(system.simulator().run_until_flag(scanned));
+      for (const auto& [key, count] : before) {
+        auto loc = client.map().lookup(key);
+        ASSERT_TRUE(loc.ok());
+        EXPECT_GE(live_shards(*loc), count)
+            << "repair shrank key " << key << "'s surviving shards";
+      }
+    }
+    system.run_for(20 * kMilli);
+    check_stripes();
+  }
+
+  // Heal completely and re-verify everything one last time.
+  for (std::size_t node : down_nodes) system.recover_node(node);
+  down_nodes.clear();
+  system.run_for(10 * kSecond);
+  check_stripes();
+  EXPECT_GT(live_keys.size(), 20u);
+}
+
+}  // namespace
+}  // namespace dm::core

@@ -291,9 +291,11 @@ const std::map<std::string, std::set<std::string>>& layer_table() {
     t["net"] = {"sim", "common"};
     t["storage"] = {"sim", "common"};
     t["compress"] = {"common"};
+    t["ec"] = {"common"};
     t["mem"] = {"net", "sim", "common"};
     t["cluster"] = {"mem", "net", "storage", "sim", "common"};
-    t["core"] = {"cluster", "mem", "net", "storage", "obs", "sim", "common"};
+    t["core"] = {"cluster", "ec", "mem", "net", "storage", "obs", "sim",
+                 "common"};
     t["swap"] = t["core"];
     t["swap"].insert({"core", "compress"});
     t["kvstore"] = t["swap"];
@@ -344,6 +346,8 @@ const std::map<std::string, std::string>& owner_table() {
       {"MemoryMap", "mem/memory_map.h"},
       {"EntryLocation", "mem/memory_map.h"},
       {"RemoteReplica", "mem/memory_map.h"},
+      {"RsCodec", "ec/rs_codec.h"},
+      {"gf_mul_add", "ec/gf256.h"},
       {"PlacementPolicy", "cluster/placement.h"},
       {"PlacementPolicyKind", "cluster/placement.h"},
       {"Harvester", "cluster/harvester.h"},
