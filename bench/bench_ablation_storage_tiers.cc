@@ -7,15 +7,102 @@
 // Optane-class, NVM-DIMM-class) and compares device-backed swap against
 // FastSwap's remote-memory path on the paper's FDR fabric: the gap closes
 // as storage approaches memory, which is exactly the §VI trade space.
+//
+// Part 2 ablates the cache-coherent CXL-class tier (§III feasibility,
+// DESIGN.md §14) on a hot-working-set trace: DRAM -> RDMA baseline vs
+// DRAM -> CXL -> RDMA, same seed. Pages evicted from DRAM land in the
+// line-addressable coherent pool, where sub-page faults cost a ~ns-scale
+// load/store transaction instead of a page-granular RDMA swap. The bench
+// writes BENCH_storage_tiers.json with the headline numbers plus a
+// baseline-repeat byte-identity bit (the tier defaults off and must not
+// perturb the failure-free schedule); ci.sh --cxl-only gates on both.
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/dm_system.h"
+#include "cxl/page_tier.h"
 #include "swap/swap_manager.h"
 #include "swap/systems.h"
 #include "workloads/app_catalog.h"
+#include "workloads/page_content.h"
+
+namespace {
+
+// Hot-working-set trace: a zipf-flavored 85/15 split over a hot set sized
+// to overflow DRAM into the next tier down.
+constexpr std::uint64_t kTierPages = 256;
+constexpr std::uint64_t kTierResident = 64;
+constexpr std::uint64_t kTierHot = 48;
+constexpr std::size_t kTierPool = 96;
+constexpr int kTierTouches = 12000;
+
+struct TierRun {
+  dm::SimTime elapsed = 0;
+  std::string snapshot;
+  std::uint64_t line_hits = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  bool ok = false;
+};
+
+TierRun run_hot_set(bool with_cxl) {
+  using namespace dm;
+  auto setup = swap::make_system(swap::SystemKind::kFastSwap, kTierResident);
+  core::DmSystem::Config config;
+  config.node_count = 4;
+  config.node.shm.arena_bytes = 32 * MiB;
+  config.node.recv.arena_bytes = 32 * MiB;
+  config.node.disk.capacity_bytes = 256 * MiB;
+  config.service = setup.service;
+  if (with_cxl) {
+    config.cxl_region_bytes = 16 * MiB;
+    config.cxl_home = 1;
+  }
+  core::DmSystem system(config);
+  system.start();
+  auto& client = system.create_server(0, 256 * MiB, setup.ldmc);
+
+  std::unique_ptr<cxl::CxlPageTier> tier;
+  auto swap_config = setup.swap;
+  if (with_cxl) {
+    cxl::CxlPageTier::Config tier_config;
+    tier_config.pool_pages = kTierPool;
+    tier_config.page_bytes = swap::kPageBytes;
+    tier = std::make_unique<cxl::CxlPageTier>(system.create_cxl_agent(0),
+                                              tier_config);
+    swap_config.cxl_tier = tier.get();
+    swap_config.cxl_promote_threshold = 8;
+  }
+  swap::SwapManager memory(client, swap_config,
+                           [](std::uint64_t page, std::span<std::byte> out) {
+                             workloads::fill_page(out, page, 0.3, 11);
+                           });
+
+  Rng rng(23);
+  TierRun run;
+  const SimTime start = system.simulator().now();
+  for (int i = 0; i < kTierTouches; ++i) {
+    const std::uint64_t page =
+        rng.bernoulli(0.85) ? rng.next_below(kTierHot)
+                            : kTierHot + rng.next_below(kTierPages - kTierHot);
+    if (!memory.touch(page, rng.next_below(4) == 0).ok()) return run;
+  }
+  run.elapsed = system.simulator().now() - start;
+  run.snapshot = system.hub().snapshot_json();
+  if (tier != nullptr) {
+    run.line_hits = tier->metrics().counter_value("cxl.tier.line_hits");
+    run.promotions = memory.metrics().counter_value("swap.cxl.promotions");
+    run.demotions = memory.metrics().counter_value("swap.cxl.demotions");
+  }
+  run.ok = true;
+  return run;
+}
+
+}  // namespace
 
 int main() {
   using namespace dm;
@@ -88,5 +175,51 @@ int main() {
   std::printf("\n(>1x: remote memory is the faster overflow tier; as the "
               "ratio approaches 1x the killer-app question of §VI — which "
               "combination of memory, network and storage wins — reopens)\n");
+
+  // --- Part 2: the cache-coherent CXL-class tier (§III) ---------------------
+  std::printf("\nCXL tier ablation (hot working set, 85%% of touches on "
+              "%llu of %llu pages):\n",
+              static_cast<unsigned long long>(kTierHot),
+              static_cast<unsigned long long>(kTierPages));
+  const TierRun baseline = run_hot_set(/*with_cxl=*/false);
+  const TierRun repeat = run_hot_set(/*with_cxl=*/false);
+  const TierRun cxl = run_hot_set(/*with_cxl=*/true);
+  if (!baseline.ok || !repeat.ok || !cxl.ok) {
+    std::printf("CXL ablation run failed\n");
+    return 1;
+  }
+  const bool repeat_identical = baseline.snapshot == repeat.snapshot;
+  const double speedup = bench::ratio(baseline.elapsed, cxl.elapsed);
+  std::printf("  DRAM -> RDMA            %s\n",
+              format_duration(baseline.elapsed).c_str());
+  std::printf("  DRAM -> CXL -> RDMA     %s   (%.2fx, %llu line hits, "
+              "%llu promotions, %llu demotions)\n",
+              format_duration(cxl.elapsed).c_str(), speedup,
+              static_cast<unsigned long long>(cxl.line_hits),
+              static_cast<unsigned long long>(cxl.promotions),
+              static_cast<unsigned long long>(cxl.demotions));
+  std::printf("  baseline repeat byte-identical: %s (tier defaults off; the "
+              "failure-free schedule must not move)\n",
+              repeat_identical ? "yes" : "NO");
+
+  FILE* f = std::fopen("BENCH_storage_tiers.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(f, "{\n\"bench\": \"storage_tiers\",\n\"cxl\": {\n");
+  std::fprintf(f, "\"baseline_elapsed_ns\": %llu,\n",
+               static_cast<unsigned long long>(baseline.elapsed));
+  std::fprintf(f, "\"cxl_elapsed_ns\": %llu,\n",
+               static_cast<unsigned long long>(cxl.elapsed));
+  std::fprintf(f, "\"speedup\": %.4f,\n", speedup);
+  std::fprintf(f, "\"baseline_repeat_identical\": %s,\n",
+               repeat_identical ? "true" : "false");
+  std::fprintf(f, "\"line_hits\": %llu,\n",
+               static_cast<unsigned long long>(cxl.line_hits));
+  std::fprintf(f, "\"promotions\": %llu,\n",
+               static_cast<unsigned long long>(cxl.promotions));
+  std::fprintf(f, "\"demotions\": %llu\n",
+               static_cast<unsigned long long>(cxl.demotions));
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_storage_tiers.json\n");
   return 0;
 }

@@ -4,11 +4,13 @@
 # (flight dumps, span traces, profiler + micro-substrate JSON, with
 # parse + determinism gates), a cluster-scale stage (the 128-node
 # multi-tenant soak run twice same-seed in separate processes with a
-# byte-identical snapshot diff), then a gcov-instrumented build gating
-# line coverage of the swap + compression layers.
+# byte-identical snapshot diff), a CXL-tier stage (the litmus battery +
+# coherence soak run twice same-seed cross-process and diffed, plus the
+# storage-tiers ablation gate), then a gcov-instrumented build gating
+# line coverage of the swap + compression + cxl layers.
 #
 # Usage: ./ci.sh [--lint-only|--plain-only|--sanitize-only|--obs-only|
-#                 --scale-only|--ec-only|--coverage-only]
+#                 --scale-only|--ec-only|--cxl-only|--coverage-only]
 #
 # The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
 # -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
@@ -17,7 +19,8 @@
 # The sanitizer pass uses the DM_SANITIZE cache option defined in the root
 # CMakeLists.txt (compiles the whole tree with -fsanitize=address,undefined).
 # The coverage pass uses DM_COVERAGE and fails CI if line coverage of the
-# .cc files under src/swap/ + src/compress/ drops below the floor.
+# .cc files under src/swap/ + src/compress/ + src/cxl/ drops below the
+# floor.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -212,13 +215,66 @@ print("    economics gate passed")
 PYEOF
 }
 
+run_cxl() {
+  local build_dir=build
+  local art="$build_dir/artifacts/cxl"
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" -j "$jobs" \
+    --target cxl_test bench_ablation_storage_tiers
+
+  rm -rf "$art"
+  mkdir -p "$art/run_a" "$art/run_b"
+
+  # The full battery runs twice with the same seeds in separate processes;
+  # each dumps the litmus outcome log plus the seeded coherence-soak
+  # snapshot via DM_CXL_SNAPSHOT. The dumps must be byte-identical — any
+  # divergence means nondeterminism crept into the protocol (lock queue
+  # order, snoop fan-out, store-buffer drain) or the tiering path.
+  echo "==> cxl: litmus battery + coherence soak x2 (same seed, separate processes)"
+  local run
+  for run in run_a run_b; do
+    DM_CXL_SNAPSHOT="$art/$run/snapshot.txt" \
+      ./"$build_dir"/tests/cxl_test > "$art/$run/cxl_test.out"
+  done
+
+  echo "==> cxl: cross-process same-seed battery determinism"
+  diff "$art/run_a/snapshot.txt" "$art/run_b/snapshot.txt" || {
+    echo "==> CXL GATE FAILED: same-seed battery dumps differ"
+    exit 1
+  }
+
+  # The storage-tiers bench carries the CXL ablation; gate the tier
+  # economics: the coherent tier must strictly beat DRAM->RDMA on the hot
+  # working set, and with the tier disabled the schedule must not move.
+  echo "==> cxl: storage-tiers ablation + tier gate"
+  (cd "$build_dir" && ./bench/bench_ablation_storage_tiers > artifacts/cxl/bench.out)
+  python3 - "$build_dir/BENCH_storage_tiers.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+cxl = bench["cxl"]
+if not cxl["baseline_repeat_identical"]:
+    sys.exit("CXL GATE FAILED: tier-off baseline not byte-identical on repeat")
+if cxl["speedup"] <= 1.0:
+    sys.exit(f"CXL GATE FAILED: speedup {cxl['speedup']:.4f} <= 1.0 "
+             "(tier must strictly improve hot-working-set latency)")
+if cxl["line_hits"] == 0:
+    sys.exit("CXL GATE FAILED: the hot set never hit the coherent tier")
+print(f"    speedup {cxl['speedup']:.4f}x "
+      f"({cxl['baseline_elapsed_ns']} ns -> {cxl['cxl_elapsed_ns']} ns), "
+      f"{cxl['line_hits']} line hits, {cxl['promotions']} promotions, "
+      f"{cxl['demotions']} demotions")
+print("    tier gate passed")
+PYEOF
+}
+
 run_coverage() {
   local build_dir=build-cov
   # The swap/compress test set: unit, sweep, adaptive-engine, the
   # trace-replay model checker, and the crash-recovery suite (which is
   # what reaches the write-back failure / degraded-fallback paths).
   local tests=(swap_test swap_adaptive_test swap_sweep_test model_test
-               compress_test recovery_test)
+               compress_test recovery_test cxl_test)
   cmake -B "$build_dir" -S . -DDM_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
   cmake --build "$build_dir" -j "$jobs" --target "${tests[@]}"
   find "$build_dir" -name '*.gcda' -delete
@@ -231,7 +287,7 @@ run_coverage() {
   mkdir -p "$covdir"
   : > "$covdir/lines.txt"
   local lib src objdir
-  for lib in swap compress; do
+  for lib in swap compress cxl; do
     objdir="../src/$lib/CMakeFiles/dm_${lib}.dir"
     for src in src/"$lib"/*.cc; do
       # cmake names objects "<src>.cc.o", so gcov needs the object path
@@ -256,7 +312,7 @@ run_coverage() {
     END {
       if (total == 0) { print "coverage: no gcov data found"; exit 1 }
       pct = 100.0 * covered / total;
-      printf "==> swap+compress line coverage: %.2f%% (floor %.1f%%)\n",
+      printf "==> swap+compress+cxl line coverage: %.2f%% (floor %.1f%%)\n",
              pct, floor;
       if (pct < floor) {
         print "==> COVERAGE GATE FAILED: below established level";
@@ -295,8 +351,13 @@ if [[ "$mode" == "all" || "$mode" == "--ec-only" ]]; then
   run_ec
 fi
 
+if [[ "$mode" == "all" || "$mode" == "--cxl-only" ]]; then
+  echo "==> cxl battery (litmus, soak determinism, tier economics gate)"
+  run_cxl
+fi
+
 if [[ "$mode" == "all" || "$mode" == "--coverage-only" ]]; then
-  echo "==> coverage build + swap/compress gate"
+  echo "==> coverage build + swap/compress/cxl gate"
   run_coverage
 fi
 

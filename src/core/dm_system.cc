@@ -1,6 +1,9 @@
 #include "core/dm_system.h"
 
+#include <cassert>
+
 #include "cluster/group.h"
+#include "cxl/coherence.h"
 #include "cluster/harvester.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
@@ -59,6 +62,28 @@ DmSystem::DmSystem(Config config)
       hub_.add(prefix, &nodes_[i]->nvm()->metrics());
     hub_.add(prefix, &services_[i]->metrics());
   }
+
+  if (config_.cxl_region_bytes > 0) {
+    cxl::CxlDirectory::Config dir_config;
+    dir_config.home = static_cast<net::NodeId>(config_.cxl_home);
+    dir_config.line_count = config_.cxl_region_bytes / cxl::kLineBytes;
+    cxl_directory_ =
+        std::make_unique<cxl::CxlDirectory>(*fabric_, dir_config);
+    hub_.add("cxl", &cxl_directory_->metrics());
+  }
+}
+
+cxl::CxlAgent& DmSystem::create_cxl_agent(std::size_t node_index) {
+  assert(cxl_directory_ != nullptr && "Config::cxl_region_bytes is 0");
+  const auto node_id = static_cast<net::NodeId>(nodes_.at(node_index)->id());
+  for (auto& agent : cxl_agents_)
+    if (agent->node() == node_id) return *agent;
+  auto agent_config = config_.cxl_agent;
+  agent_config.node = node_id;
+  cxl_agents_.push_back(
+      std::make_unique<cxl::CxlAgent>(*cxl_directory_, agent_config));
+  hub_.add("node." + std::to_string(node_id), &cxl_agents_.back()->metrics());
+  return *cxl_agents_.back();
 }
 
 void DmSystem::set_tracer(sim::Tracer* tracer) {
@@ -68,6 +93,7 @@ void DmSystem::set_tracer(sim::Tracer* tracer) {
 
 void DmSystem::set_span_sink(sim::SpanSink* spans) {
   fabric_->set_span_sink(spans);
+  if (cxl_directory_ != nullptr) cxl_directory_->set_span_sink(spans);
   for (auto& node : nodes_) node->rpc().set_span_sink(spans);
   for (auto& service : services_) service->set_span_sink(spans);
 }

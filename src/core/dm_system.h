@@ -29,6 +29,7 @@
 #include "cluster/harvester.h"
 #include "cluster/node.h"
 #include "common/units.h"
+#include "cxl/coherence.h"
 #include "core/ldmc.h"
 #include "core/node_service.h"
 #include "core/repair_service.h"
@@ -79,6 +80,14 @@ class DmSystem {
     net::RetryPolicy connect_backoff{};
     // Background re-replication scanner, one per node.
     RepairService::Config repair{};
+    // Cache-coherent CXL-class tier (off by default; paper §III): when
+    // cxl_region_bytes > 0 the system hosts a line-granular coherent
+    // region on node `cxl_home` and nodes may attach load/store agents
+    // via create_cxl_agent(). The failure-free event schedule with the
+    // tier disabled is byte-identical to a build without it.
+    std::uint64_t cxl_region_bytes = 0;
+    std::size_t cxl_home = 0;
+    cxl::CxlAgent::Config cxl_agent{};
   };
 
   explicit DmSystem(Config config);
@@ -144,6 +153,12 @@ class DmSystem {
   std::size_t harvest_tick();
   cluster::Harvester* harvester() noexcept { return harvester_.get(); }
 
+  // CXL tier accessors (null / asserts when Config::cxl_region_bytes == 0).
+  cxl::CxlDirectory* cxl_directory() noexcept { return cxl_directory_.get(); }
+  // Creates (or returns the existing) coherent load/store agent for
+  // `node_index`, registered with the hub under "node.<id>".
+  cxl::CxlAgent& create_cxl_agent(std::size_t node_index);
+
   // Aggregate counters across all node services (testing/benching aid).
   std::uint64_t total_counter(std::string_view name) const;
 
@@ -163,6 +178,8 @@ class DmSystem {
   std::vector<std::unique_ptr<NodeService>> services_;
   std::vector<std::unique_ptr<RepairService>> repairs_;
   std::unique_ptr<cluster::Harvester> harvester_;
+  std::unique_ptr<cxl::CxlDirectory> cxl_directory_;
+  std::vector<std::unique_ptr<cxl::CxlAgent>> cxl_agents_;
   obs::MetricsHub hub_;
   void rewire_group(cluster::GroupId group);
 

@@ -196,6 +196,124 @@ void Fabric::complete_with_error(QueuePair* qp, Status status,
   });
 }
 
+// ---- CXL-class load/store port ---------------------------------------------
+
+void Fabric::complete_cxl_error(Status status, CompletionCallback done) {
+  ++metrics_.counter("fabric.op_errors");
+  const SimTime when = sim_.now() + config_.failure_detect_ns;
+  sim_.schedule_at(when, [status = std::move(status), done = std::move(done),
+                          when]() {
+    if (done) done(Completion{status, when, 0});
+  });
+}
+
+CompletionCallback Fabric::wrap_cxl_span(TraceId trace, NodeId at,
+                                         const char* name,
+                                         CompletionCallback done) {
+  if (spans_ == nullptr || trace == kNoTrace) return done;
+  // dm-lint: allow(span-unclosed) — closed by the wrapped completion.
+  const std::uint64_t span = spans_->begin_span(trace, at, "net", name);
+  return [spans = spans_, span, inner = std::move(done)](const Completion& c) {
+    spans->end_span(span);
+    if (inner) inner(c);
+  };
+}
+
+Status Fabric::cxl_read(NodeId src, NodeId dst, RKey rkey,
+                        std::uint64_t offset, std::span<std::byte> dest,
+                        CompletionCallback done, TraceId trace) {
+  if (!has_node(src) || !has_node(dst))
+    return InvalidArgumentError("unknown node");
+  done = wrap_cxl_span(trace, src, "fabric.cxl_read", std::move(done));
+  const SimTime posted_at = sim_.now();
+  ++metrics_.counter("fabric.cxl_reads");
+  if (!path_up(src, dst)) {
+    complete_cxl_error(UnavailableError("path down"), std::move(done));
+    return Status::Ok();  // posted; failure arrives via completion
+  }
+  // Request flit to the memory node, then the data transaction back. The
+  // request rides on propagation only: CXL transactions have one overhead
+  // budget, charged on the data-carrying hop.
+  const SimTime request_arrival =
+      sim_.now() + config_.latency.link_propagation_ns;
+  sim_.schedule_at(request_arrival, [this, src, dst, rkey, offset, dest,
+                                     posted_at,
+                                     done = std::move(done)]() mutable {
+    MemoryRegion* region = find_region(dst, rkey);
+    if (!path_up(dst, src) || region == nullptr ||
+        offset + dest.size() > region->bytes.size()) {
+      Status err = region == nullptr ? NotFoundError("remote MR invalid")
+                                     : UnavailableError("remote down");
+      complete_cxl_error(std::move(err), std::move(done));
+      return;
+    }
+    // Snapshot the remote line now; it travels back on the data hop.
+    std::vector<std::byte> payload(
+        region->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+        region->bytes.begin() + static_cast<std::ptrdiff_t>(offset) +
+            static_cast<std::ptrdiff_t>(dest.size()));
+    auto back = model_transfer(dst, src, payload.size(), config_.latency.cxl);
+    if (!back.ok()) {
+      complete_cxl_error(back.status(), std::move(done));
+      return;
+    }
+    sim_.schedule_at(*back, [this, dest, payload = std::move(payload),
+                             done = std::move(done), posted_at,
+                             deliver = *back]() {
+      std::memcpy(dest.data(), payload.data(), payload.size());
+      metrics_.histogram("fabric.cxl_read_ns")
+          .record(static_cast<std::uint64_t>(deliver - posted_at));
+      if (done)
+        done(Completion{Status::Ok(), deliver,
+                        static_cast<std::uint64_t>(payload.size())});
+    });
+  });
+  return Status::Ok();
+}
+
+Status Fabric::cxl_write(NodeId src, NodeId dst, RKey rkey,
+                         std::uint64_t offset, std::span<const std::byte> data,
+                         CompletionCallback done, TraceId trace) {
+  if (!has_node(src) || !has_node(dst))
+    return InvalidArgumentError("unknown node");
+  done = wrap_cxl_span(trace, src, "fabric.cxl_write", std::move(done));
+  const SimTime posted_at = sim_.now();
+  ++metrics_.counter("fabric.cxl_writes");
+  auto arrival = model_transfer(src, dst, data.size(), config_.latency.cxl);
+  if (!arrival.ok()) {
+    complete_cxl_error(arrival.status(), std::move(done));
+    return Status::Ok();
+  }
+  // Copy out now (doorbell + DMA snapshot, as with post_write).
+  std::vector<std::byte> payload(data.begin(), data.end());
+  sim_.schedule_at(*arrival, [this, dst, rkey, offset,
+                              payload = std::move(payload), posted_at,
+                              done = std::move(done), deliver = *arrival]() {
+    MemoryRegion* region = find_region(dst, rkey);
+    if (!node_up(dst) || region == nullptr ||
+        offset + payload.size() > region->bytes.size()) {
+      Status err = region == nullptr
+                       ? NotFoundError("remote MR invalid")
+                       : UnavailableError("remote node down at delivery");
+      complete_cxl_error(std::move(err), std::move(done));
+      return;
+    }
+    if (!payload.empty())
+      std::memcpy(region->bytes.data() + offset, payload.data(),
+                  payload.size());
+    const SimTime acked = deliver + config_.latency.link_propagation_ns;
+    metrics_.histogram("fabric.cxl_write_ns")
+        .record(static_cast<std::uint64_t>(acked - posted_at));
+    sim_.schedule_at(acked, [done = std::move(done), acked,
+                             nbytes = payload.size()]() {
+      if (done)
+        done(Completion{Status::Ok(), acked,
+                        static_cast<std::uint64_t>(nbytes)});
+    });
+  });
+  return Status::Ok();
+}
+
 // ---- QueuePair verbs -------------------------------------------------------
 
 Status QueuePair::post_write(RKey rkey, std::uint64_t offset,

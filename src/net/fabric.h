@@ -156,6 +156,24 @@ class Fabric {
   // Marks every QP touching `node` as error (called on crash).
   void fail_node_connections(NodeId node);
 
+  // --- CXL-class load/store port --------------------------------------------
+  // Cache-line-granularity memory transactions against registered memory on
+  // `dst`, charged at config().latency.cxl (ns-scale, no page fault, no
+  // queue pair). Real bytes move, failures surface in the completion after
+  // failure_detect_ns, exactly like the verbs above. The cxl:: layer builds
+  // its coherence protocol out of these two transactions.
+  //
+  // cxl_read pulls dest.size() bytes from (rkey, offset) on dst into dest.
+  // cxl_write pushes `data` into (rkey, offset) on dst; a zero-length write
+  // is a pure control transaction (coherence snoops and releases ride on
+  // it) and charges only the per-transaction overhead.
+  Status cxl_read(NodeId src, NodeId dst, RKey rkey, std::uint64_t offset,
+                  std::span<std::byte> dest, CompletionCallback done,
+                  TraceId trace = kNoTrace);
+  Status cxl_write(NodeId src, NodeId dst, RKey rkey, std::uint64_t offset,
+                   std::span<const std::byte> data, CompletionCallback done,
+                   TraceId trace = kNoTrace);
+
  private:
   friend class QueuePair;
 
@@ -177,6 +195,11 @@ class Fabric {
   bool should_drop_message();
   void complete_with_error(QueuePair* qp, Status status,
                            CompletionCallback done);
+  // QP-free error completion for the CXL port (no connection to poison).
+  void complete_cxl_error(Status status, CompletionCallback done);
+  // Shared span-wrapping for the CXL port ops.
+  CompletionCallback wrap_cxl_span(TraceId trace, NodeId at, const char* name,
+                                   CompletionCallback done);
   NodeState* state_of(NodeId node);
   const NodeState* state_of(NodeId node) const;
   MemoryRegion* find_region(NodeId node, RKey rkey);

@@ -49,6 +49,12 @@ struct LatencyModel {
   CostModel rdma{1500, 6.0};
   // Two-sided send/recv costs slightly more (receiver CPU involvement).
   CostModel rdma_send{2000, 6.0};
+  // CXL-class coherent load/store transaction (the paper's §III feasibility
+  // question: remote memory approached through the cache hierarchy, no page
+  // fault). Per-transaction overhead in the hundreds of ns and near-memory
+  // bandwidth — a line fill lands ~4x under an RDMA READ, which is what
+  // makes it a distinct tier between DRAM and RDMA paging.
+  CostModel cxl{150, 30.0};
   DiskModel disk{};
   // Fixed propagation component per fabric hop (same rack).
   SimTime link_propagation_ns = 300;

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "compress/page_compressor.h"
+#include "cxl/page_tier.h"
 #include "core/ldmc.h"
 #include "sim/span_sink.h"
 #include "swap/pattern_tracker.h"
@@ -116,7 +117,15 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
     ~TraceReset() { *slot = net::kNoTrace; }
   } trace_reset{&active_trace_};
   const char* path = nullptr;
-  if (zswap_ && zswap_->contains(page)) {
+  // Set when a CXL line access served the fault with the page staying
+  // pooled: no residency change, and for a write the dirty line lives in
+  // the coherence layer (written back on demotion), so the resident-page
+  // dirty/backing bookkeeping below must not run.
+  bool cxl_in_place = false;
+  if (config_.cxl_tier != nullptr && config_.cxl_tier->contains(page)) {
+    path = "cxl";
+    DM_RETURN_IF_ERROR(fault_in_cxl(page, write, cxl_in_place));
+  } else if (zswap_ && zswap_->contains(page)) {
     path = "zswap";
     DM_RETURN_IF_ERROR(fault_in_zswap(page));
   } else if (auto backing = backed_.find(page); backing != backed_.end()) {
@@ -137,11 +146,73 @@ Status SwapManager::touch(std::uint64_t page, bool write) {
   active_trace_ = net::kNoTrace;
   metrics_.histogram(std::string("swap.fault_ns.") + path)
       .record(static_cast<std::uint64_t>(sim.now() - fault_started));
-  if (write) {
+  if (write && !cxl_in_place) {
     dirty_.insert(page);
     DM_RETURN_IF_ERROR(invalidate_backing(page));
   }
   charge(latency.dram.overhead_ns);
+  return Status::Ok();
+}
+
+Status SwapManager::fault_in_cxl(std::uint64_t page, bool write,
+                                 bool& in_place) {
+  cxl::CxlPageTier* tier = config_.cxl_tier;
+  // The accessed line cycles deterministically with the page's hit count
+  // (stands in for the workload's sub-page offset stream).
+  const std::size_t line_index =
+      static_cast<std::size_t>(tier->touches(page)) % tier->lines_per_page();
+  DM_RETURN_IF_ERROR(tier->touch_line(page, line_index, write,
+                                      active_trace_));
+  ++metrics_.counter("swap.cxl.line_faults");
+  if (tier->touches(page) < config_.cxl_promote_threshold) {
+    in_place = true;
+    return Status::Ok();
+  }
+  // Repeated sub-page hits proved the page hot: promote the whole page
+  // back into DRAM (the pool copy was the only copy, so it returns dirty
+  // with respect to every lower tier).
+  DM_RETURN_IF_ERROR(make_room(1));
+  std::vector<std::byte> bytes(kPageBytes);
+  DM_RETURN_IF_ERROR(tier->promote(page, bytes, active_trace_));
+  resident_.insert_or_assign(page, std::move(bytes));
+  lru_.touch(page);
+  dirty_.insert(page);
+  ++swap_ins_;
+  ++metrics_.counter("swap.cxl.promotions");
+  return Status::Ok();
+}
+
+Status SwapManager::cxl_demote(std::uint64_t page,
+                               std::span<const std::byte> bytes) {
+  cxl::CxlPageTier* tier = config_.cxl_tier;
+  if (tier->full()) DM_RETURN_IF_ERROR(cxl_spill_coldest());
+  // Victims reaching this path are never backed (dirty pages invalidated
+  // their backing on write; clean backed pages were dropped for free), so
+  // the pool copy is authoritative — but keep the invariant airtight.
+  DM_RETURN_IF_ERROR(invalidate_backing(page));
+  DM_RETURN_IF_ERROR(tier->demote(page, bytes, active_trace_));
+  ++metrics_.counter("swap.cxl.demotions");
+  return Status::Ok();
+}
+
+Status SwapManager::cxl_spill_coldest() {
+  cxl::CxlPageTier* tier = config_.cxl_tier;
+  auto victim = tier->coldest();
+  if (!victim) return ResourceExhaustedError("empty CXL pool cannot spill");
+  std::vector<std::byte> bytes(kPageBytes);
+  DM_RETURN_IF_ERROR(tier->promote(*victim, bytes, active_trace_));
+  ++metrics_.counter("swap.cxl.spills");
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> batch;
+  batch.emplace_back(*victim, std::move(bytes));
+  return store_batch(std::move(batch));
+}
+
+Status SwapManager::shed_cxl(std::size_t pages) {
+  if (config_.cxl_tier == nullptr) return Status::Ok();
+  const std::size_t count = std::min(pages, config_.cxl_tier->used());
+  for (std::size_t i = 0; i < count; ++i)
+    DM_RETURN_IF_ERROR(cxl_spill_coldest());
+  if (count > 0) metrics_.counter("swap.cxl.shed_pages") += count;
   return Status::Ok();
 }
 
@@ -227,6 +298,23 @@ Status SwapManager::write_out_batch(const std::vector<std::uint64_t>& pages) {
     auto node = resident_.extract(page);
     dirty_.erase(page);
     extracted.emplace_back(page, std::move(node.mapped()));
+  }
+
+  if (config_.cxl_tier != nullptr) {
+    // DRAM -> CXL: victims land in the line-addressable pool (spilling its
+    // coldest page down to the backend when full). Only pages the pool
+    // cannot absorb continue into zswap / the backend below.
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> overflow;
+    for (auto& [page, bytes] : extracted) {
+      Status demoted = cxl_demote(page, bytes);
+      if (demoted.ok()) continue;
+      if (demoted.code() == StatusCode::kInternal) return demoted;
+      // Pool (or its spill path) unavailable: fall through down-tier.
+      ++metrics_.counter("swap.cxl.demote_fallbacks");
+      overflow.emplace_back(page, std::move(bytes));
+    }
+    if (overflow.empty()) return Status::Ok();
+    extracted = std::move(overflow);
   }
 
   if (zswap_) {
@@ -677,6 +765,11 @@ Status SwapManager::flush_all() {
   if (wb_enabled()) (void)wb_process_failures();
   while (!resident_.empty()) {
     DM_RETURN_IF_ERROR(evict_for_space());
+  }
+  // Drain the CXL pool too: a cold restart loses the coherence-layer
+  // caches, so every pooled page must reach the durable backend.
+  if (config_.cxl_tier != nullptr) {
+    while (config_.cxl_tier->used() > 0) DM_RETURN_IF_ERROR(cxl_spill_coldest());
   }
   // Crash-consistency barrier: Fig 9's cold restart (and any recovery
   // scenario) must find every page durable down-tier, not staged in DRAM.

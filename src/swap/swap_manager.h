@@ -71,6 +71,7 @@
 #include "common/units.h"
 #include "compress/page_compressor.h"
 #include "core/ldmc.h"
+#include "cxl/page_tier.h"
 #include "sim/span_sink.h"
 #include "swap/pattern_tracker.h"
 #include "swap/zswap_cache.h"
@@ -123,6 +124,17 @@ class SwapManager {
     // i.e. write-through as before).
     std::size_t writeback_batches = 0;
     SimTime writeback_flush_delay = 30 * kMicro;  // async flush deadline
+
+    // --- CXL tier (default-off; DESIGN.md §14) --------------------------
+    // When set, dirty/unbacked eviction victims demote into this CXL page
+    // pool (DRAM -> CXL) before the RDMA/disk backend, a fault on a pooled
+    // page is served as a coherent cache-line access instead of a page
+    // fault, and a page promotes back to DRAM after cxl_promote_threshold
+    // sub-page hits. The pool spills its coldest page to the backend
+    // (CXL -> RDMA/disk) when full. Null keeps every baseline
+    // byte-identical.
+    cxl::CxlPageTier* cxl_tier = nullptr;
+    std::uint64_t cxl_promote_threshold = 4;
   };
 
   SwapManager(core::Ldmc& client, Config config, PageContentFn content);
@@ -183,6 +195,17 @@ class SwapManager {
   std::size_t wb_staged_batches() const noexcept { return wb_.size(); }
   std::uint64_t wb_in_flight() const noexcept { return wb_inflight_; }
 
+  // --- CXL tier observability and pressure hook -------------------------
+  bool in_cxl(std::uint64_t page) const {
+    return config_.cxl_tier != nullptr && config_.cxl_tier->contains(page);
+  }
+  std::size_t cxl_pooled() const noexcept {
+    return config_.cxl_tier != nullptr ? config_.cxl_tier->used() : 0;
+  }
+  // Harvest-pressure hook: spills the N coldest pool pages down to the
+  // backend (e.g. when the pool's host memory is being reclaimed).
+  Status shed_cxl(std::size_t pages);
+
   const Config& config() const noexcept { return config_; }
   core::Ldmc& client() noexcept { return client_; }
 
@@ -210,6 +233,14 @@ class SwapManager {
 
   Status fault_in(std::uint64_t page);
   Status fault_in_zswap(std::uint64_t page);
+  // Serves a sub-page fault on a CXL-pooled page as a coherent line
+  // access; promotes the page back to DRAM once it proves hot. Sets
+  // `in_place` when the page stays pooled (no residency change).
+  Status fault_in_cxl(std::uint64_t page, bool write, bool& in_place);
+  // Demotes one extracted victim into the CXL pool (spilling the coldest
+  // pooled page to the backend first when full).
+  Status cxl_demote(std::uint64_t page, std::span<const std::byte> bytes);
+  Status cxl_spill_coldest();
   // Serves a fault for a page whose batch is still in the write-back
   // staging buffer — no backend I/O at all.
   Status fault_in_wb(std::uint64_t page,

@@ -21,7 +21,10 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/dm_system.h"
+#include "core/ldmc.h"
 #include "core/node_service.h"
+#include "cxl/coherence.h"
+#include "cxl/page_tier.h"
 #include "mem/buffer_pool.h"
 #include "mem/memory_map.h"
 #include "mem/shared_memory_pool.h"
@@ -812,3 +815,139 @@ TEST(EcModelTest, StripeInvariantsHoldOverRandomOps) {
 
 }  // namespace
 }  // namespace dm::core
+
+// --- CXL tier invariants (DESIGN.md §14) -------------------------------------
+//
+// A seeded fault/evict trace drives a SwapManager whose eviction path tiers
+// DRAM -> CXL -> RDMA backend, and five tier invariants are checked after
+// every step:
+//
+//   T1  exclusivity: a page in the CXL pool is neither resident nor backed
+//       down-tier — the pool holds the sole authoritative copy.
+//   T2  integrity: promotion/demotion never loses the latest bytes; every
+//       resident page always matches its generator image.
+//   T3  line faults stay off the page path: a sub-threshold touch of a
+//       pooled page moves only fabric.cxl_* counters, never swap_ins/outs.
+//   T4  pool bound: the pool never exceeds its configured capacity.
+//   T5  conservation: after flush_all, the pool is empty and every page
+//       ever touched comes back intact from the durable tiers.
+
+namespace dm::cxl {
+namespace {
+
+struct CxlModelRig {
+  CxlModelRig(std::uint64_t resident_pages, std::size_t pool_pages,
+              std::uint64_t promote_threshold)
+      : setup(swap::make_system(swap::SystemKind::kFastSwap, resident_pages)) {
+    core::DmSystem::Config config;
+    config.node_count = 4;
+    config.node.shm.arena_bytes = 16 * MiB;
+    config.node.recv.arena_bytes = 16 * MiB;
+    config.node.disk.capacity_bytes = 128 * MiB;
+    config.service = setup.service;
+    config.cxl_region_bytes = 4 * MiB;
+    config.cxl_home = 1;
+    system = std::make_unique<core::DmSystem>(config);
+    system->start();
+    client = &system->create_server(0, 64 * MiB, setup.ldmc);
+    CxlPageTier::Config tier_config;
+    tier_config.pool_pages = pool_pages;
+    tier_config.page_bytes = swap::kPageBytes;
+    tier = std::make_unique<CxlPageTier>(system->create_cxl_agent(0),
+                                         tier_config);
+    auto swap_config = setup.swap;
+    swap_config.cxl_tier = tier.get();
+    swap_config.cxl_promote_threshold = promote_threshold;
+    manager = std::make_unique<swap::SwapManager>(
+        *client, swap_config, [](std::uint64_t page, std::span<std::byte> out) {
+          workloads::fill_page(out, page, 0.3, 11);
+        });
+  }
+
+  std::uint64_t checksum_of(std::uint64_t page) {
+    std::vector<std::byte> bytes(swap::kPageBytes);
+    workloads::fill_page(bytes, page, 0.3, 11);
+    return fnv1a(bytes);
+  }
+
+  swap::SystemSetup setup;
+  std::unique_ptr<core::DmSystem> system;
+  core::Ldmc* client = nullptr;
+  std::unique_ptr<CxlPageTier> tier;
+  std::unique_ptr<swap::SwapManager> manager;
+};
+
+TEST(CxlTierModelTest, InvariantsHoldOverSeededTrace) {
+  constexpr std::uint64_t kPages = 40;
+  constexpr std::size_t kPool = 8;
+  CxlModelRig rig(/*resident=*/8, kPool, /*threshold=*/3);
+  Rng rng(517);
+
+  auto check_invariants = [&]() {
+    std::size_t pooled = 0;
+    for (std::uint64_t p = 0; p < kPages; ++p) {
+      if (!rig.manager->in_cxl(p)) continue;
+      ++pooled;
+      // T1: the pool copy is the only copy.
+      EXPECT_FALSE(rig.manager->is_resident(p)) << "page " << p;
+      EXPECT_FALSE(rig.manager->is_backed(p)) << "page " << p;
+    }
+    EXPECT_EQ(pooled, rig.manager->cxl_pooled());
+    EXPECT_LE(pooled, kPool);  // T4
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t page = rng.next_below(kPages);
+    const bool write = rng.next_below(4) == 0;
+    ASSERT_TRUE(rig.manager->touch(page, write).ok());
+    if (rng.next_below(50) == 0 && rig.manager->cxl_pooled() > 0) {
+      ASSERT_TRUE(rig.manager->shed_cxl(1).ok());
+    }
+    check_invariants();
+    // T2 (sampled): the page just touched, wherever it landed, is intact.
+    if (rig.manager->is_resident(page)) {
+      auto bytes = rig.manager->resident_bytes(page);
+      ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(fnv1a(*bytes), rig.checksum_of(page)) << "page " << page;
+    }
+  }
+
+  // T5: flush drains every tier above the durable one, and nothing is lost.
+  ASSERT_TRUE(rig.manager->flush_all().ok());
+  EXPECT_EQ(rig.manager->cxl_pooled(), 0u);
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+    auto bytes = rig.manager->resident_bytes(p);
+    ASSERT_TRUE(bytes.ok()) << "page " << p;
+    EXPECT_EQ(fnv1a(*bytes), rig.checksum_of(p)) << "page " << p;
+  }
+}
+
+TEST(CxlTierModelTest, LineFaultsNeverTouchThePagePath) {
+  CxlModelRig rig(/*resident=*/8, /*pool=*/16, /*threshold=*/100);
+  for (std::uint64_t p = 0; p < 24; ++p)
+    ASSERT_TRUE(rig.manager->touch(p).ok());
+
+  std::uint64_t pooled = ~0ull;
+  for (std::uint64_t p = 0; p < 24; ++p)
+    if (rig.manager->in_cxl(p)) pooled = p;
+  ASSERT_NE(pooled, ~0ull);
+
+  auto& fabric_metrics = rig.system->fabric().metrics();
+  const std::uint64_t swap_ins = rig.manager->swap_ins();
+  const std::uint64_t swap_outs = rig.manager->swap_outs();
+  const std::uint64_t cxl_reads =
+      fabric_metrics.counter_value("fabric.cxl_reads");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.manager->touch(pooled, /*write=*/true).ok());
+    ASSERT_TRUE(rig.manager->in_cxl(pooled));  // threshold never reached
+  }
+  // T3: eight sub-page faults rode the coherent line port exclusively.
+  EXPECT_EQ(rig.manager->swap_ins(), swap_ins);
+  EXPECT_EQ(rig.manager->swap_outs(), swap_outs);
+  EXPECT_GT(fabric_metrics.counter_value("fabric.cxl_reads"), cxl_reads);
+  EXPECT_GT(rig.manager->metrics().counter_value("swap.cxl.line_faults"), 0u);
+}
+
+}  // namespace
+}  // namespace dm::cxl

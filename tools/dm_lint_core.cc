@@ -293,9 +293,10 @@ const std::map<std::string, std::set<std::string>>& layer_table() {
     t["compress"] = {"common"};
     t["ec"] = {"common"};
     t["mem"] = {"net", "sim", "common"};
+    t["cxl"] = {"net", "sim", "common"};
     t["cluster"] = {"mem", "net", "storage", "sim", "common"};
-    t["core"] = {"cluster", "ec", "mem", "net", "storage", "obs", "sim",
-                 "common"};
+    t["core"] = {"cluster", "cxl", "ec", "mem", "net", "storage", "obs",
+                 "sim", "common"};
     t["swap"] = t["core"];
     t["swap"].insert({"core", "compress"});
     t["kvstore"] = t["swap"];
@@ -348,6 +349,10 @@ const std::map<std::string, std::string>& owner_table() {
       {"RemoteReplica", "mem/memory_map.h"},
       {"RsCodec", "ec/rs_codec.h"},
       {"gf_mul_add", "ec/gf256.h"},
+      {"CxlDirectory", "cxl/coherence.h"},
+      {"CxlAgent", "cxl/coherence.h"},
+      {"LineState", "cxl/coherence.h"},
+      {"CxlPageTier", "cxl/page_tier.h"},
       {"PlacementPolicy", "cluster/placement.h"},
       {"PlacementPolicyKind", "cluster/placement.h"},
       {"Harvester", "cluster/harvester.h"},
