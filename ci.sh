@@ -14,8 +14,11 @@
 #
 # The lint pass builds the tree with -DDM_WERROR=ON (so -Wall -Wextra
 # -Wshadow are hard errors in CI), runs tools/dm_lint over the source tree
-# (determinism, layering, status hygiene, include hygiene — see DESIGN.md),
-# and runs the fixture suite proving every rule still fires.
+# (determinism, layering, status hygiene, include hygiene, lock-order
+# proofs, RPC/metric contracts, branch-sensitive status/span flow — see
+# DESIGN.md), archives LINT_REPORT.json + METRIC_REGISTRY.json with a
+# byte-stability diff, and runs the fixture suite proving every rule still
+# fires.
 # The sanitizer pass uses the DM_SANITIZE cache option defined in the root
 # CMakeLists.txt (compiles the whole tree with -fsanitize=address,undefined).
 # The coverage pass uses DM_COVERAGE and fails CI if line coverage of the
@@ -44,11 +47,30 @@ run_suite() {
 
 run_lint() {
   local build_dir=build-lint
+  local art="$build_dir/artifacts"
   # -Werror build proves the tree is warning-free before anything runs.
   cmake -B "$build_dir" -S . -DDM_WERROR=ON
   cmake --build "$build_dir" -j "$jobs"
-  echo "==> dm_lint: tree scan"
-  "./$build_dir/tools/dm_lint" --root .
+
+  # Tree scan (flow + protocol rules included: lock-order proofs, RPC and
+  # metric contracts, branch-sensitive status/span checks). The JSON report
+  # is archived, and a second run is diffed against the first so the report
+  # is provably byte-stable.
+  rm -rf "$art"
+  mkdir -p "$art"
+  echo "==> dm_lint: tree scan (JSON report + byte-stability check)"
+  "./$build_dir/tools/dm_lint" --root . --json > "$art/LINT_REPORT.json"
+  "./$build_dir/tools/dm_lint" --root . --json > "$art/LINT_REPORT.second.json"
+  diff "$art/LINT_REPORT.json" "$art/LINT_REPORT.second.json"
+  rm "$art/LINT_REPORT.second.json"
+
+  # Harvested metric/span registry — the ground truth the metric-contract
+  # rule checks gate specs (like the SLO string below) against.
+  echo "==> dm_lint: metric registry"
+  "./$build_dir/tools/dm_lint" --root . --metric-registry \
+    > "$art/METRIC_REGISTRY.json"
+  grep -q '"schema_version": 2' "$art/METRIC_REGISTRY.json"
+
   echo "==> dm_lint: fixture suite"
   ctest --test-dir "$build_dir" --output-on-failure -R 'Lint' -j "$jobs"
 }

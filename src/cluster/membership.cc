@@ -65,6 +65,28 @@ void Membership::tick() {
   sim_.schedule_after(config_.heartbeat_period, [this]() { tick(); });
 }
 
+void Membership::query_free(net::NodeId peer,
+                            std::function<void(StatusOr<FreeReport>)> done) {
+  rpc_.call(peer, kRpcQueryFree, {}, config_.rpc_timeout,
+            [this, peer, done = std::move(done)](
+                StatusOr<std::vector<std::byte>> resp) {
+              if (!resp.ok()) {
+                done(resp.status());
+                return;
+              }
+              net::WireReader r(*resp);
+              FreeReport report;
+              report.free_bytes = r.u64();
+              report.pressure = r.u64();
+              if (!r.ok()) {
+                done(InvalidArgumentError("malformed kRpcQueryFree reply"));
+                return;
+              }
+              note_alive(peer, report.free_bytes, report.pressure);
+              done(report);
+            });
+}
+
 void Membership::note_alive(net::NodeId peer, std::uint64_t free_bytes,
                             std::uint64_t pressure) {
   auto& st = state_[peer];

@@ -421,6 +421,65 @@ void Rdmc::read_from(
               std::move(done), trace);
 }
 
+void Rdmc::read_twosided(const std::vector<mem::RemoteReplica>& replicas,
+                         std::uint64_t range_offset, std::span<std::byte> out,
+                         ReadCallback done, net::TraceId trace) {
+  if (replicas.empty()) {
+    done(DataLossError("entry has no remote replicas"));
+    return;
+  }
+  if (trace == net::kNoTrace) trace = node_.next_trace_id();
+  ++node_.recv_pool().metrics().counter("rdmc.reads_twosided");
+  const SimTime started = node_.simulator().now();
+  done = [this, started, inner = std::move(done)](const Status& s) {
+    node_.recv_pool().metrics().histogram("rdmc.read_ns")
+        .record(static_cast<std::uint64_t>(node_.simulator().now() - started));
+    inner(s);
+  };
+  auto ordered = std::make_shared<std::vector<mem::RemoteReplica>>(replicas);
+  read_twosided_from(std::move(ordered), 0, range_offset, out,
+                     std::move(done), trace);
+}
+
+void Rdmc::read_twosided_from(
+    std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
+    std::size_t index, std::uint64_t range_offset, std::span<std::byte> out,
+    ReadCallback done, net::TraceId trace) {
+  if (index >= replicas->size()) {
+    ++node_.recv_pool().metrics().counter("rdmc.read_all_replicas_failed");
+    done(DataLossError("all replicas unreachable"));
+    return;
+  }
+  // The RDMS read handler serves a prefix of the hosted block, so ask for
+  // range_offset + size bytes and keep the tail.
+  const auto& replica = (*replicas)[index];
+  net::WireWriter w;
+  w.put_u64(replica.rkey);
+  w.put_u64(replica.offset);
+  w.put_u32(static_cast<std::uint32_t>(range_offset + out.size()));
+  node_.rpc().call(
+      replica.node, cluster::kRpcReadBlock, std::move(w).take(),
+      config_.rpc_timeout,
+      [this, replicas, index, range_offset, out, trace,
+       done = std::move(done)](StatusOr<std::vector<std::byte>> resp) mutable {
+        if (resp.ok()) {
+          net::WireReader r(*resp);
+          const auto bytes = r.bytes();
+          if (r.ok() && bytes.size() >= range_offset + out.size()) {
+            std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                            range_offset),
+                        out.size(), out.begin());
+            done(Status::Ok());
+            return;
+          }
+        }
+        ++node_.recv_pool().metrics().counter("rdmc.read_failovers");
+        read_twosided_from(std::move(replicas), index + 1, range_offset, out,
+                           std::move(done), trace);
+      },
+      trace);
+}
+
 void Rdmc::free_replicas(std::vector<mem::RemoteReplica> replicas,
                          DoneCallback done, net::TraceId trace) {
   if (replicas.empty()) {

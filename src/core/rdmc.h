@@ -109,6 +109,15 @@ class Rdmc {
             std::uint64_t range_offset, std::span<std::byte> out,
             ReadCallback done, net::TraceId trace = net::kNoTrace);
 
+  // Two-sided fallback read: fetches the range over the control channel
+  // (kRpcReadBlock, served by the replica host's RDMS) instead of a
+  // one-sided RDMA READ. For callers that cannot establish a data channel
+  // to the replica host — connection budget exhausted, or a transport
+  // without one-sided verbs. Same replica failover order as read().
+  void read_twosided(const std::vector<mem::RemoteReplica>& replicas,
+                     std::uint64_t range_offset, std::span<std::byte> out,
+                     ReadCallback done, net::TraceId trace = net::kNoTrace);
+
   // Frees all replica blocks (best effort on dead hosts); done fires after
   // every free settles.
   void free_replicas(std::vector<mem::RemoteReplica> replicas,
@@ -120,6 +129,10 @@ class Rdmc {
                  std::size_t index, std::uint64_t range_offset,
                  std::span<std::byte> out, ReadCallback done,
                  net::TraceId trace);
+  void read_twosided_from(
+      std::shared_ptr<std::vector<mem::RemoteReplica>> replicas,
+      std::size_t index, std::uint64_t range_offset, std::span<std::byte> out,
+      ReadCallback done, net::TraceId trace);
 
   cluster::Node& node_;
   Config config_;

@@ -350,6 +350,7 @@ void CxlAgent::perform_load(LineId line, std::uint32_t offset,
   const SimTime start = sim().now();
   auto alive = alive_;
   CxlDirectory* dir = &dir_;
+  // dm-lock: order(cxl.line)
   dir_.lock(line, [this, alive, dir, line, offset, out,
                    done = std::move(done), trace, start]() mutable {
     if (!*alive) {
@@ -458,6 +459,7 @@ void CxlAgent::perform_store(LineId line, std::uint32_t offset,
   done = wrap_span(trace, "cxl.upgrade", std::move(done));
   auto alive = alive_;
   CxlDirectory* dir = &dir_;
+  // dm-lock: order(cxl.line)
   dir_.lock(line, [this, alive, dir, line, offset, data = std::move(data),
                    done = std::move(done), trace, start]() mutable {
     if (!*alive) {
@@ -617,6 +619,7 @@ void CxlAgent::trim_cache() {
 void CxlAgent::release_line(LineId line, std::function<void()> then) {
   auto alive = alive_;
   CxlDirectory* dir = &dir_;
+  // dm-lock: order(cxl.line)
   dir_.lock(line, [this, alive, dir, line, then = std::move(then)]() mutable {
     if (!*alive) {
       dir->unlock(line);
@@ -687,6 +690,7 @@ void CxlAgent::lock_range(LineId first, std::size_t count,
       }
       // Ascending acquisition order: cannot cycle with any other range op
       // (also ascending) or single-line transaction (holds one lock).
+      // dm-lock: order(cxl.line, ascending)
       dir->lock(first + idx, [self, alive, dir, first, count, idx, fn]() {
         if (!*alive) {
           // The agent tore down while we queued; we now hold

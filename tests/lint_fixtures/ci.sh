@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Fixture: a CI gate spec referencing a metric inside an emitted family
+# ("fix.*") that no code actually emits. Line asserted by lint_test.cc.
+check_slo "fix.ghost.latency <= 10ms"

@@ -1,0 +1,10 @@
+// Fixture: an RPC method enumerator with no label_method entry, no
+// handle() dispatch, and no call() site anywhere in the tree.
+// Line numbers are asserted by tests/lint_test.cc.
+namespace dm::cluster {
+
+enum FixtureRpcMethod : unsigned {
+  kRpcOrphanPing = 900,  // line 7: rpc-contract (all three legs missing)
+};
+
+}  // namespace dm::cluster

@@ -1,0 +1,19 @@
+// Fixture: a Status result consumed on one branch only — the fall-through
+// path reaches the function exit without ever looking at it, which the
+// branch-sensitive upgrade of status-discard catches.
+// Line numbers are asserted by tests/lint_test.cc.
+#include "common/status.h"
+
+namespace dm::core {
+
+Status do_work();
+bool verbose();
+
+void run_once() {
+  Status st = do_work();  // line 13: unchecked on the quiet path
+  if (verbose()) {
+    (void)st.ok();
+  }
+}
+
+}  // namespace dm::core

@@ -1,0 +1,25 @@
+// Fixture: two functions acquire the same pair of annotated locks in
+// opposite orders, closing a cycle in the global lock-order graph.
+// Line numbers are asserted by tests/lint_test.cc.
+#include <mutex>
+
+namespace dm::cxl {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void forward_order() {
+  // dm-lock: order(fix.a)
+  std::lock_guard<std::mutex> ga(mu_a);
+  // dm-lock: order(fix.b)
+  std::lock_guard<std::mutex> gb(mu_b);  // line 15: edge fix.a -> fix.b
+}
+
+void backward_order() {
+  // dm-lock: order(fix.b)
+  std::lock_guard<std::mutex> gb(mu_b);
+  // dm-lock: order(fix.a)
+  std::lock_guard<std::mutex> ga(mu_a);  // line 22: edge fix.b -> fix.a
+}
+
+}  // namespace dm::cxl

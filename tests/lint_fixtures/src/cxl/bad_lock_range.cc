@@ -1,0 +1,20 @@
+// Fixture: a range lock annotated `ascending` whose index expression walks
+// the range backwards — the annotation's self-edge exemption requires the
+// index to be provably ascending, and this one is not.
+// Line numbers are asserted by tests/lint_test.cc.
+namespace dm::cxl {
+
+struct Directory {
+  template <typename Fn>
+  void lock(unsigned line, Fn fn);
+};
+
+void sweep_backwards(Directory* dir, unsigned first, unsigned count) {
+  for (unsigned idx = 0; idx < count; ++idx) {
+    const unsigned line = first + count - idx - 1;
+    // dm-lock: order(fix.line, ascending)
+    dir->lock(line, [] {});  // line 16: not provably ascending
+  }
+}
+
+}  // namespace dm::cxl

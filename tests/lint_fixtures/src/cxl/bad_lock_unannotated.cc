@@ -1,0 +1,15 @@
+// Fixture: callback-style lock acquisition (held region = the callback
+// body) with no `// dm-lock: order(...)` annotation naming its level.
+// Line numbers are asserted by tests/lint_test.cc.
+namespace dm::cxl {
+
+struct Directory {
+  template <typename Fn>
+  void lock(unsigned line, Fn fn);
+};
+
+void touch_line(Directory& dir) {
+  dir.lock(7, [] {});  // line 12: lock-order (unannotated callback)
+}
+
+}  // namespace dm::cxl

@@ -1,0 +1,22 @@
+// Fixture: metric-contract violations — one name emitted as both counter
+// and histogram, one name breaking the lowercase-dotted convention, and a
+// read of a metric no code emits.
+// Line numbers are asserted by tests/lint_test.cc.
+#include <cstdint>
+
+namespace dm::obs {
+
+struct FixtureMetrics {
+  std::uint64_t& counter(const char* name);
+  void histogram(const char* name, double v);
+  std::uint64_t counter_value(const char* name) const;
+};
+
+void emit_some(FixtureMetrics& m) {
+  ++m.counter("fix.requests");
+  m.histogram("fix.requests", 1.0);      // line 17: collides with counter
+  ++m.counter("fix.BadName");            // line 18: naming convention
+  (void)m.counter_value("fix.missing");  // line 19: orphaned read
+}
+
+}  // namespace dm::obs

@@ -1,0 +1,22 @@
+// Fixture: a span leaked on the early-return path — end_span exists, but a
+// branch exits the function before reaching it, which the CFG-based upgrade
+// of span-unclosed catches.
+// Line numbers are asserted by tests/lint_test.cc.
+namespace dm::obs {
+
+struct FixtureTracer {
+  int begin_span(const char* subsystem, const char* name);
+  void end_span(int id);
+};
+
+bool hot_path();
+
+void probe(FixtureTracer& t) {
+  const int id = t.begin_span("fix", "probe");  // line 15: leaks on return
+  if (hot_path()) {
+    return;
+  }
+  t.end_span(id);
+}
+
+}  // namespace dm::obs

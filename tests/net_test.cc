@@ -164,6 +164,7 @@ TEST_F(FabricTest, BatchedWriteCheaperThanPerPage) {
   std::vector<std::byte> region(64 * 1024);
   auto rkey1 = fabric_.register_memory(1, region);
   auto qp1 = fabric_.connect(0, 1);
+  ASSERT_TRUE(rkey1.ok() && qp1.ok());
 
   // Eight individual 4 KiB writes.
   int pending = 8;
@@ -382,6 +383,7 @@ TEST_F(FabricTest, RcCompletionsStayInOrderPerQp) {
   std::vector<std::byte> region(64 * 1024);
   auto rkey = fabric_.register_memory(1, region);
   auto qp = fabric_.connect(0, 1);
+  ASSERT_TRUE(rkey.ok() && qp.ok());
   std::vector<int> completions;
   int remaining = 4;
   for (int i = 0; i < 4; ++i) {

@@ -1,13 +1,16 @@
 // dm_lint CLI: run the project invariant checks over the tree.
 //
-//   dm_lint [--json] [--root DIR] [--no-default-skips] [path...]
+//   dm_lint [--json] [--metric-registry] [--root DIR]
+//           [--no-default-skips] [path...]
 //
-// With no paths, scans {src, bench, tests, tools, examples} under --root
-// (default "."), skipping the seeded-violation fixture tree and build
-// directories. Output is sorted by (file, line, rule) and byte-stable
-// across runs; --json emits the same findings in the machine-readable
-// format the bench snapshots use. Exit status: 0 clean, 1 findings,
-// 2 usage error.
+// With no paths, scans {src, bench, tests, tools, examples} plus ci.sh
+// under --root (default "."), skipping the seeded-violation fixture tree
+// and build directories. Output is sorted by (file, line, rule) and
+// byte-stable across runs; --json emits the same findings in the
+// schema_version 2 machine-readable format (rule catalog included).
+// --metric-registry prints the generated metric/span name registry for
+// the scanned tree instead of findings and always exits 0.
+// Exit status: 0 clean, 1 findings, 2 usage error.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,10 +21,13 @@
 int main(int argc, char** argv) {
   dm::lint::Options options;
   bool json = false;
+  bool registry = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(arg, "--metric-registry") == 0) {
+      registry = true;
     } else if (std::strcmp(arg, "--root") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "dm_lint: --root needs a directory\n");
@@ -32,8 +38,8 @@ int main(int argc, char** argv) {
       options.use_default_skips = false;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: dm_lint [--json] [--root DIR] [--no-default-skips] "
-          "[path...]\n");
+          "usage: dm_lint [--json] [--metric-registry] [--root DIR] "
+          "[--no-default-skips] [path...]\n");
       return 0;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "dm_lint: unknown flag '%s'\n", arg);
@@ -43,13 +49,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<dm::lint::Diagnostic> diags = dm::lint::run(options);
-  if (json) {
-    std::fputs(dm::lint::to_json(diags).c_str(), stdout);
-  } else {
-    std::fputs(dm::lint::to_text(diags).c_str(), stdout);
-    std::fprintf(stderr, "dm_lint: %zu finding%s\n", diags.size(),
-                 diags.size() == 1 ? "" : "s");
+  const dm::lint::RunResult result = dm::lint::run_full(options);
+  if (registry) {
+    std::fputs(result.metric_registry.c_str(), stdout);
+    return 0;
   }
-  return diags.empty() ? 0 : 1;
+  if (json) {
+    std::fputs(dm::lint::to_json(result.diagnostics).c_str(), stdout);
+  } else {
+    std::fputs(dm::lint::to_text(result.diagnostics).c_str(), stdout);
+    std::fprintf(stderr, "dm_lint: %zu finding%s\n",
+                 result.diagnostics.size(),
+                 result.diagnostics.size() == 1 ? "" : "s");
+  }
+  return result.diagnostics.empty() ? 0 : 1;
 }

@@ -1,281 +1,22 @@
 #include "dm_lint_core.h"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string_view>
 #include <tuple>
 #include <utility>
+
+#include "dm_lint_engine.h"
+#include "dm_lint_flow.h"
+#include "dm_lint_model.h"
 
 namespace dm::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// ---------------------------------------------------------------------------
-// Per-file preprocessed view: raw lines, a "code" view with comments and
-// string/char literal contents blanked to spaces (quote characters kept so
-// tokens never merge across a literal), per-line comment text for allow
-// markers, and the include list pulled from the raw lines.
-// ---------------------------------------------------------------------------
-struct SourceFile {
-  std::string rel;                 // root-relative path, '/' separators
-  std::string module;              // "common", "swap", ... or "tests" etc.
-  bool in_src = false;
-  std::vector<std::string> lines;  // raw
-  std::vector<std::string> code;   // literals/comments blanked
-  std::vector<std::string> comments;              // comment text per line
-  std::vector<std::pair<int, std::string>> includes;  // (line, quoted path)
-  // rule -> lines on which the rule is explicitly allowed
-  std::map<std::string, std::set<int>> allow;
-  std::set<std::string> unordered_names;  // vars/accessors of unordered type
-  std::set<std::string> fwd_decls;        // `class X;` / `struct X;`
-  bool exporting = false;  // produces exported artifacts (JSON, wire, ...)
-};
-
-std::string module_of(const std::string& rel) {
-  const auto slash = rel.find('/');
-  if (slash == std::string::npos) return "";
-  const std::string head = rel.substr(0, slash);
-  if (head != "src") return head;
-  const auto second = rel.find('/', slash + 1);
-  if (second == std::string::npos) return "";
-  return rel.substr(slash + 1, second - slash - 1);
-}
-
-void parse_allow_markers(SourceFile& file) {
-  for (std::size_t i = 0; i < file.comments.size(); ++i) {
-    const std::string& comment = file.comments[i];
-    auto at = comment.find("dm-lint:");
-    if (at == std::string::npos) continue;
-    at = comment.find("allow(", at);
-    if (at == std::string::npos) continue;
-    const auto close = comment.find(')', at);
-    if (close == std::string::npos) continue;
-    std::string list = comment.substr(at + 6, close - at - 6);
-    std::stringstream ss(list);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      const auto first = rule.find_first_not_of(" \t");
-      const auto last = rule.find_last_not_of(" \t");
-      if (first == std::string::npos) continue;
-      rule = rule.substr(first, last - first + 1);
-      // The marker covers its own line and the line below, so both
-      // trailing-comment and line-above styles work.
-      file.allow[rule].insert(static_cast<int>(i) + 1);
-      file.allow[rule].insert(static_cast<int>(i) + 2);
-    }
-  }
-}
-
-// Blanks comments and literal contents. Tracks block comments and raw
-// string literals across lines.
-void strip_literals(SourceFile& file) {
-  enum class State { kCode, kBlockComment, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  file.code.resize(file.lines.size());
-  file.comments.resize(file.lines.size());
-  for (std::size_t li = 0; li < file.lines.size(); ++li) {
-    const std::string& in = file.lines[li];
-    std::string out(in.size(), ' ');
-    std::string comment;
-    for (std::size_t i = 0; i < in.size();) {
-      if (state == State::kBlockComment) {
-        if (in.compare(i, 2, "*/") == 0) {
-          state = State::kCode;
-          i += 2;
-        } else {
-          comment += in[i];
-          ++i;
-        }
-        continue;
-      }
-      if (state == State::kRawString) {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (in.compare(i, closer.size(), closer) == 0) {
-          state = State::kCode;
-          out[i + closer.size() - 1] = '"';
-          i += closer.size();
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      const char c = in[i];
-      if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
-        comment += in.substr(i + 2);
-        break;  // rest of line is comment
-      }
-      if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
-        state = State::kBlockComment;
-        i += 2;
-        continue;
-      }
-      if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"' &&
-          (i == 0 || !is_ident_char(in[i - 1]))) {
-        const auto open = in.find('(', i + 2);
-        if (open != std::string::npos) {
-          raw_delim = in.substr(i + 2, open - i - 2);
-          out[i] = 'R';
-          out[i + 1] = '"';
-          state = State::kRawString;
-          i = open + 1;
-          continue;
-        }
-      }
-      if (c == '"') {
-        out[i] = '"';
-        ++i;
-        while (i < in.size() && in[i] != '"') {
-          i += (in[i] == '\\') ? 2 : 1;
-        }
-        if (i < in.size()) out[i] = '"';
-        ++i;
-        continue;
-      }
-      if (c == '\'' && i > 0 && is_ident_char(in[i - 1])) {
-        ++i;  // digit separator (1'000'000), not a char literal
-        continue;
-      }
-      if (c == '\'') {
-        out[i] = '\'';
-        ++i;
-        while (i < in.size() && in[i] != '\'') {
-          i += (in[i] == '\\') ? 2 : 1;
-        }
-        if (i < in.size()) out[i] = '\'';
-        ++i;
-        continue;
-      }
-      out[i] = c;
-      ++i;
-    }
-    file.code[li] = std::move(out);
-    file.comments[li] = std::move(comment);
-  }
-}
-
-void parse_includes(SourceFile& file) {
-  for (std::size_t li = 0; li < file.lines.size(); ++li) {
-    const std::string& line = file.lines[li];
-    const auto hash = line.find_first_not_of(" \t");
-    if (hash == std::string::npos || line[hash] != '#') continue;
-    const auto inc = line.find("include", hash);
-    if (inc == std::string::npos) continue;
-    const auto open = line.find('"', inc);
-    if (open == std::string::npos) continue;
-    const auto close = line.find('"', open + 1);
-    if (close == std::string::npos) continue;
-    file.includes.emplace_back(static_cast<int>(li) + 1,
-                               line.substr(open + 1, close - open - 1));
-  }
-}
-
-// Matches a balanced <...> starting at `pos` (which must point at '<').
-// Returns the index one past the closing '>', or npos.
-std::size_t skip_angles(const std::string& s, std::size_t pos) {
-  int depth = 0;
-  for (std::size_t i = pos; i < s.size(); ++i) {
-    if (s[i] == '<') ++depth;
-    if (s[i] == '>' && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-void collect_unordered_names(SourceFile& file) {
-  for (const std::string& line : file.code) {
-    for (std::size_t pos = 0;;) {
-      auto at = line.find("unordered_", pos);
-      if (at == std::string::npos) break;
-      pos = at + 1;
-      if (at > 0 && is_ident_char(line[at - 1])) continue;
-      std::size_t i = at;
-      while (i < line.size() && is_ident_char(line[i])) ++i;
-      const std::string kind = line.substr(at, i - at);
-      if (kind != "unordered_map" && kind != "unordered_set" &&
-          kind != "unordered_multimap" && kind != "unordered_multiset") {
-        continue;
-      }
-      while (i < line.size() && line[i] == ' ') ++i;
-      if (i >= line.size() || line[i] != '<') continue;
-      i = skip_angles(line, i);
-      if (i == std::string::npos) continue;
-      while (i < line.size() &&
-             (line[i] == ' ' || line[i] == '&' || line[i] == '*')) {
-        ++i;
-      }
-      std::size_t name_start = i;
-      while (i < line.size() && is_ident_char(line[i])) ++i;
-      if (i > name_start && is_ident_start(line[name_start])) {
-        file.unordered_names.insert(line.substr(name_start, i - name_start));
-      }
-    }
-  }
-}
-
-void collect_fwd_decls(SourceFile& file) {
-  for (const std::string& line : file.code) {
-    for (const char* kw : {"class", "struct"}) {
-      for (std::size_t pos = 0;;) {
-        auto at = line.find(kw, pos);
-        if (at == std::string::npos) break;
-        pos = at + 1;
-        const std::size_t kwlen = std::string_view(kw).size();
-        if (at > 0 && is_ident_char(line[at - 1])) continue;
-        if (at + kwlen >= line.size() || line[at + kwlen] != ' ') continue;
-        std::size_t i = at + kwlen + 1;
-        const std::size_t name_start = i;
-        while (i < line.size() && is_ident_char(line[i])) ++i;
-        const std::size_t name_end = i;
-        while (i < line.size() && line[i] == ' ') ++i;
-        if (i < line.size() && line[i] == ';' && name_end > name_start) {
-          file.fwd_decls.insert(line.substr(name_start, name_end - name_start));
-        }
-      }
-    }
-  }
-}
-
-// Files that produce exported artifacts: obs snapshots, bench JSON, the
-// RPC wire format. Detected by path and by the tokens those emitters use.
-void detect_exporting(SourceFile& file) {
-  if (file.rel.rfind("src/obs/", 0) == 0 || file.rel.rfind("bench/", 0) == 0 ||
-      file.rel == "src/net/wire.h") {
-    file.exporting = true;
-    return;
-  }
-  static const std::array<const char*, 7> kMarkers = {
-      "json_escape", "snapshot_json", "prometheus_text", "to_json",
-      "WireWriter",  "BenchJson",     "export_json"};
-  for (const std::string& line : file.code) {
-    for (const char* marker : kMarkers) {
-      const auto at = line.find(marker);
-      if (at == std::string::npos) continue;
-      const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
-      const auto end = at + std::string_view(marker).size();
-      const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-      if (left_ok && right_ok) {
-        file.exporting = true;
-        return;
-      }
-    }
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Layering table: transitive closure of the CMake link graph. A module may
@@ -425,88 +166,12 @@ const std::set<std::string>& banned_env_calls() {
   return k;
 }
 
-struct Token {
-  std::string text;
-  int line = 0;         // 1-based
-  char prev = '\0';     // previous significant char ('\0' at start)
-  char prev2 = '\0';    // the one before that (detects "->")
-  char next = '\0';     // next significant char
-};
-
-std::vector<Token> tokenize(const SourceFile& file) {
-  std::vector<Token> tokens;
-  char prev = '\0';
-  char prev2 = '\0';
-  for (std::size_t li = 0; li < file.code.size(); ++li) {
-    const std::string& line = file.code[li];
-    for (std::size_t i = 0; i < line.size();) {
-      const char c = line[i];
-      if (c == ' ' || c == '\t') {
-        ++i;
-        continue;
-      }
-      if (is_ident_start(c)) {
-        std::size_t start = i;
-        while (i < line.size() && is_ident_char(line[i])) ++i;
-        Token t;
-        t.text = line.substr(start, i - start);
-        t.line = static_cast<int>(li) + 1;
-        t.prev = prev;
-        t.prev2 = prev2;
-        // Next significant char: rest of this line, else '\0' (a call
-        // paren split across lines is rare enough to ignore).
-        for (std::size_t j = i; j < line.size(); ++j) {
-          if (line[j] != ' ' && line[j] != '\t') {
-            t.next = line[j];
-            break;
-          }
-        }
-        prev2 = prev;
-        prev = t.text.back();
-        tokens.push_back(std::move(t));
-        continue;
-      }
-      prev2 = prev;
-      prev = c;
-      ++i;
-    }
-  }
-  return tokens;
-}
-
-bool is_member_access(const Token& t) {
-  return t.prev == '.' || (t.prev == '>' && t.prev2 == '-');
-}
-
-// Scans forward from just after a begin_span call token, looking for an
-// `end_span` identifier before the innermost enclosing block closes (brace
-// depth relative to the call site drops below zero). Lambdas passed as
-// arguments open and close their own braces, so a completion callback that
-// ends the span inside the same block counts as reachable.
-bool span_closed_in_block(const SourceFile& file, std::size_t start_line,
-                          std::size_t start_col) {
-  int depth = 0;
-  for (std::size_t li = start_line; li < file.code.size(); ++li) {
-    const std::string& line = file.code[li];
-    for (std::size_t i = li == start_line ? start_col : 0; i < line.size();
-         ++i) {
-      const char c = line[i];
-      if (c == '{') ++depth;
-      if (c == '}' && --depth < 0) return false;
-      if (c == 'e' && line.compare(i, 8, "end_span") == 0 &&
-          (i == 0 || !is_ident_char(line[i - 1])) &&
-          (i + 8 >= line.size() || !is_ident_char(line[i + 8]))) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
-// Statement reconstruction for the status-discard rule: split the code view
-// into `...;` statements at paren depth 0, flushing on braces so lambda and
-// function bodies are analyzed as their own statements.
+// Statement reconstruction for the bare-call status-discard check: split
+// the code view into `...;` statements at paren depth 0, flushing on braces
+// so lambda and function bodies are analyzed as their own statements. (The
+// branch-sensitive variant lives in dm_lint_flow.cc on the real statement
+// tree; this splitter stays for the cheap unbound-call scan.)
 // ---------------------------------------------------------------------------
 struct Statement {
   std::string text;
@@ -547,69 +212,6 @@ std::vector<Statement> split_statements(const SourceFile& file) {
     if (!current.empty()) current += ' ';
   }
   return statements;
-}
-
-// If `statement` is exactly a call chain (`a.b(...).c(...)`, `foo(...)`,
-// `ns::foo(...)`) returns the name of the final call, else "".
-std::string final_call_name(const std::string& s) {
-  std::size_t i = 0;
-  auto skip_ws = [&] {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-  };
-  auto read_ident = [&]() -> std::string {
-    skip_ws();
-    if (i >= s.size() || !is_ident_start(s[i])) return "";
-    std::size_t start = i;
-    while (i < s.size() && is_ident_char(s[i])) ++i;
-    return s.substr(start, i - start);
-  };
-  auto skip_parens = [&]() -> bool {
-    skip_ws();
-    if (i >= s.size() || s[i] != '(') return false;
-    int depth = 0;
-    for (; i < s.size(); ++i) {
-      if (s[i] == '(') ++depth;
-      if (s[i] == ')' && --depth == 0) {
-        ++i;
-        return true;
-      }
-    }
-    return false;
-  };
-  std::string last;
-  for (;;) {
-    std::string ident = read_ident();
-    if (ident.empty()) return "";
-    skip_ws();
-    if (i + 1 < s.size() && s[i] == ':' && s[i + 1] == ':') {
-      i += 2;
-      continue;  // qualified name, keep reading
-    }
-    if (i < s.size() && s[i] == '(') {
-      last = ident;
-      if (!skip_parens()) return "";
-      skip_ws();
-      if (i >= s.size()) return last;  // statement ends at the call
-      if (s[i] == '.') {
-        ++i;
-        continue;
-      }
-      if (i + 1 < s.size() && s[i] == '-' && s[i + 1] == '>') {
-        i += 2;
-        continue;
-      }
-      return "";  // trailing operator: not a bare call statement
-    }
-    if (i < s.size() && s[i] == '.') {
-      ++i;
-      continue;
-    }
-    if (i + 1 < s.size() && s[i] == '-' && s[i + 1] == '>') {
-      i += 2;
-      continue;
-    }
-    return "";  // two adjacent identifiers (a declaration) or an operator
-  }
 }
 
 bool starts_with_keyword(const std::string& s) {
@@ -681,18 +283,16 @@ class Analyzer {
  public:
   explicit Analyzer(const Options& options) : options_(options) {}
 
-  std::vector<Diagnostic> run();
+  RunResult run();
 
  private:
   void load_tree();
   void load_file(const fs::path& path, const std::string& rel);
-  void analyze(const SourceFile& file);
   void check_determinism(const SourceFile& file);
   void check_unordered_iteration(const SourceFile& file);
   void check_layering(const SourceFile& file);
   void check_status_discard(const SourceFile& file);
   void check_include_direct(const SourceFile& file);
-  void check_span_unclosed(const SourceFile& file);
   void report(const SourceFile& file, int line, const char* rule,
               std::string message);
 
@@ -720,23 +320,23 @@ void Analyzer::load_file(const fs::path& path, const std::string& rel) {
   file.rel = rel;
   file.module = module_of(rel);
   file.in_src = rel.rfind("src/", 0) == 0;
+  file.is_script = rel.size() > 3 && rel.compare(rel.size() - 3, 3, ".sh") == 0;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     file.lines.push_back(line);
   }
-  parse_includes(file);
-  strip_literals(file);
-  parse_allow_markers(file);
-  collect_unordered_names(file);
-  collect_fwd_decls(file);
-  detect_exporting(file);
+  preprocess(file);
   files_.push_back(std::move(file));
 }
 
 void Analyzer::load_tree() {
   std::vector<std::string> roots = options_.paths;
-  if (roots.empty()) roots = {"src", "bench", "tests", "tools", "examples"};
+  if (roots.empty()) {
+    // ci.sh rides along so the metric-contract rule can check its gate
+    // specs (SLO strings, coverage greps) against the emitted names.
+    roots = {"src", "bench", "tests", "tools", "examples", "ci.sh"};
+  }
   std::vector<std::string> skips = options_.skip;
   if (options_.use_default_skips) {
     skips.emplace_back("lint_fixtures");
@@ -953,7 +553,8 @@ void Analyzer::check_status_discard(const SourceFile& file) {
     const std::string& text = s.text;
     if (text.empty() || text[0] == '#' || text[0] == '(') continue;
     if (starts_with_keyword(text)) continue;
-    // Any top-level '=' means the result is bound somewhere.
+    // Any top-level '=' means the result is bound somewhere (the
+    // branch-sensitive rule then checks the binding is consumed).
     int depth = 0;
     bool has_assign = false;
     for (std::size_t i = 0; i < text.size(); ++i) {
@@ -1000,51 +601,7 @@ void Analyzer::check_include_direct(const SourceFile& file) {
   }
 }
 
-void Analyzer::check_span_unclosed(const SourceFile& file) {
-  for (std::size_t li = 0; li < file.code.size(); ++li) {
-    const std::string& line = file.code[li];
-    for (std::size_t pos = 0;;) {
-      auto at = line.find("begin_span", pos);
-      if (at == std::string::npos) break;
-      pos = at + 1;
-      if (at > 0 && is_ident_char(line[at - 1])) continue;
-      const std::size_t end = at + 10;
-      if (end < line.size() && is_ident_char(line[end])) continue;
-      // Only member calls are span-open sites: `sink.begin_span(` or
-      // `sink->begin_span(`. Declarations (`virtual ... begin_span(`) and
-      // out-of-line definitions (`SpanTracer::begin_span(`) are skipped.
-      std::size_t b = at;
-      while (b > 0 && (line[b - 1] == ' ' || line[b - 1] == '\t')) --b;
-      const bool member =
-          b > 0 && (line[b - 1] == '.' ||
-                    (line[b - 1] == '>' && b > 1 && line[b - 2] == '-'));
-      if (!member) continue;
-      std::size_t after = end;
-      while (after < line.size() &&
-             (line[after] == ' ' || line[after] == '\t')) {
-        ++after;
-      }
-      if (after >= line.size() || line[after] != '(') continue;
-      if (!span_closed_in_block(file, li, end)) {
-        report(file, static_cast<int>(li) + 1, kRuleSpanUnclosed,
-               "begin_span with no end_span reachable in the enclosing block "
-               "(prefer sim::SpanScope; async hand-offs that close the span "
-               "elsewhere need an explicit allow marker)");
-      }
-    }
-  }
-}
-
-void Analyzer::analyze(const SourceFile& file) {
-  check_determinism(file);
-  check_unordered_iteration(file);
-  check_layering(file);
-  check_status_discard(file);
-  check_include_direct(file);
-  check_span_unclosed(file);
-}
-
-std::vector<Diagnostic> Analyzer::run() {
+RunResult Analyzer::run() {
   load_tree();
   std::set<std::string> void_names;
   for (const SourceFile& file : files_) {
@@ -1061,47 +618,88 @@ std::vector<Diagnostic> Analyzer::run() {
       "reserve", "push_back", "pop_back", "push_front", "pop_front"};
   for (const std::string& name : void_names) status_names_.erase(name);
   for (const std::string& name : kContainerMethods) status_names_.erase(name);
-  for (const SourceFile& file : files_) analyze(file);
+
+  const Reporter reporter = [this](const SourceFile& file, int line,
+                                   const char* rule, std::string message) {
+    report(file, line, rule, std::move(message));
+  };
+  LockGraph lock_graph;
+  RpcContract rpc;
+  MetricContract metrics;
+  for (const SourceFile& file : files_) {
+    const FileAnalysis fa = analyze_file(file);
+    if (!file.is_script) {
+      check_determinism(file);
+      check_unordered_iteration(file);
+      check_layering(file);
+      check_status_discard(file);
+      check_include_direct(file);
+      check_status_branches(file, fa, status_names_, reporter);
+      check_span_flow(file, fa, reporter);
+      collect_lock_order(file, fa, &lock_graph, reporter);
+      collect_rpc_contract(file, fa, &rpc);
+    }
+    collect_metric_contract(file, fa, &metrics, reporter);
+  }
+  // Cross-file contract rules need the whole protocol in view; a scan
+  // restricted to explicit paths would report half a tree as missing.
+  if (options_.paths.empty()) {
+    check_lock_cycles(lock_graph, reporter);
+    check_rpc_contract(rpc, reporter);
+    check_metric_contract(metrics, reporter);
+  }
+
   std::sort(diags_.begin(), diags_.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
   diags_.erase(std::unique(diags_.begin(), diags_.end()), diags_.end());
-  return diags_;
-}
-
-// RFC 8259 escaping, mirroring bench_util.h so lint JSON and bench JSON
-// obey the same conventions.
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (unsigned char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
+  RunResult result;
+  result.diagnostics = std::move(diags_);
+  result.metric_registry = metric_registry_json(metrics);
+  return result;
 }
 
 }  // namespace
 
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRuleRand,
+       "no libc/std randomness outside the simulator; use dm::Rng"},
+      {kRuleWallclock, "no wall clocks; use sim::Simulator virtual time"},
+      {kRuleGetenv, "no environment probing; thread options explicitly"},
+      {kRulePtrHash,
+       "no pointer-identity hashing or pointer-to-integer ordering"},
+      {kRuleUnorderedIter,
+       "no unordered-container iteration in files that export artifacts"},
+      {kRuleLayerDep,
+       "project includes must follow the module dependency DAG"},
+      {kRuleLayerTestInclude,
+       "src/ must not include test or bench headers"},
+      {kRuleStatusDiscard,
+       "Status/StatusOr results must be consumed on every path"},
+      {kRuleIncludeDirect,
+       "include what you use: name a project type, include its header"},
+      {kRuleSpanUnclosed,
+       "begin_span must reach an end_span on every path to the exit"},
+      {kRuleLockOrder,
+       "the global lock-order graph must stay acyclic; callback-style "
+       "acquisitions carry dm-lock annotations; range locks are provably "
+       "ascending"},
+      {kRuleRpcContract,
+       "every kRpc* method has label_method, handle(), and call() legs"},
+      {kRuleMetricContract,
+       "metric/span names: no counter/histogram collisions, "
+       "convention-clean, every read and gate spec resolves to an emission"},
+  };
+  return kRules;
+}
+
+RunResult run_full(const Options& options) { return Analyzer(options).run(); }
+
 std::vector<Diagnostic> run(const Options& options) {
-  return Analyzer(options).run();
+  return Analyzer(options).run().diagnostics;
 }
 
 std::string to_text(const std::vector<Diagnostic>& diags) {
@@ -1114,7 +712,16 @@ std::string to_text(const std::vector<Diagnostic>& diags) {
 }
 
 std::string to_json(const std::vector<Diagnostic>& diags) {
-  std::string out = "{\n\"tool\": \"dm_lint\",\n\"diagnostics\": [\n";
+  std::string out =
+      "{\n\"tool\": \"dm_lint\",\n\"schema_version\": 2,\n\"rules\": [\n";
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "{\"rule\": \"" + json_escape(rules[i].rule) +
+           "\", \"description\": \"" + json_escape(rules[i].description) +
+           "\"}";
+    out += (i + 1 < rules.size()) ? ",\n" : "\n";
+  }
+  out += "],\n\"diagnostics\": [\n";
   for (std::size_t i = 0; i < diags.size(); ++i) {
     const Diagnostic& d = diags[i];
     out += "{\"file\": \"" + json_escape(d.file) +

@@ -21,14 +21,23 @@
 //    configuration, e.g. fixtures and gated paths).
 //  * includes     — IWYU-lite: a file that names a project type includes
 //    that type's header directly instead of leaning on transitive pulls.
-//  * spans        — a raw member call to begin_span must have a matching
-//    end_span reachable in its enclosing block (async hand-offs that close
-//    the span elsewhere carry an explicit allow marker); prefer the
+//  * spans        — a raw member call to begin_span must have an end_span
+//    on every control-flow path to the function exit (async hand-offs that
+//    close the span elsewhere carry an explicit allow marker); prefer the
 //    sim::SpanScope guard, which the rule never flags.
+//  * lock-order   — lock acquisition sites form a global lock-order graph;
+//    cycles, unannotated callback-style acquisitions, and range locks that
+//    are not provably ascending are findings (dm_lint_flow.h).
+//  * rpc-contract — every kRpc* enumerator must have a label_method
+//    registration, a handle() dispatch, and a call() site.
+//  * metric-contract — metric/span names are harvested into a registry;
+//    collisions, convention violations, and reads or gate specs naming
+//    metrics no code emits are findings.
 //
-// The analyzer is deliberately token/line-level (no libclang): it
-// preprocesses comments and string literals away, then matches tokens, so
-// it is fast, dependency-free, and deterministic. False positives are
+// The analyzer needs no libclang: files are preprocessed into a blanked
+// code view (dm_lint_model.h), then analyzed token/line-level or, for the
+// flow-aware rules, over a statement tree + per-function CFG built by
+// dm_lint_engine.h. Output is deterministic; false positives are
 // suppressed in place with `// dm-lint: allow(<rule>[, <rule>...])` on the
 // offending line or the line directly above it.
 #pragma once
@@ -76,16 +85,37 @@ inline constexpr const char* kRuleLayerTestInclude = "layer-test-include";
 inline constexpr const char* kRuleStatusDiscard = "status-discard";
 inline constexpr const char* kRuleIncludeDirect = "include-direct";
 inline constexpr const char* kRuleSpanUnclosed = "span-unclosed";
+inline constexpr const char* kRuleLockOrder = "lock-order";
+inline constexpr const char* kRuleRpcContract = "rpc-contract";
+inline constexpr const char* kRuleMetricContract = "metric-contract";
+
+// Rule id -> one-line description, embedded in the schema_version 2 JSON
+// so report consumers never need this header.
+struct RuleInfo {
+  const char* rule;
+  const char* description;
+};
+const std::vector<RuleInfo>& rule_catalog();
 
 // Runs every rule over the configured tree and returns the sorted,
-// deduplicated findings.
+// deduplicated findings. The cross-file contract rules (lock-order
+// cycles, rpc-contract, metric-contract resolution) only run when
+// `options.paths` is empty: a path-restricted scan sees half a protocol.
 std::vector<Diagnostic> run(const Options& options);
+
+// run() plus the generated metric/span registry for the scanned tree.
+struct RunResult {
+  std::vector<Diagnostic> diagnostics;
+  std::string metric_registry;  // schema_version 2 JSON, trailing newline
+};
+RunResult run_full(const Options& options);
 
 // "file:line: [rule] message" lines, one per diagnostic.
 std::string to_text(const std::vector<Diagnostic>& diags);
 
 // Machine-readable export matching the bench_util.h JSON conventions
-// (RFC 8259 escaping, sorted entries, trailing newline).
+// (RFC 8259 escaping, sorted entries, trailing newline). Top level:
+// {"tool", "schema_version": 2, "rules": [...], "diagnostics": [...]}.
 std::string to_json(const std::vector<Diagnostic>& diags);
 
 }  // namespace dm::lint
